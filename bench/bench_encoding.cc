@@ -1,0 +1,101 @@
+// E1 (Figure 1 / Section 2.1): the unranked↔binary encoding is a linear-time
+// bijection, and path-expression translation commutes with it. Series:
+// encode/decode throughput over document size, and translation compile cost.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/regex/path_expr.h"
+#include "src/tree/encode.h"
+#include "src/tree/random_tree.h"
+
+namespace pebbletc {
+namespace {
+
+Alphabet MakeTags() {
+  Alphabet tags;
+  for (const char* n : {"a", "b", "c", "d"}) tags.Intern(n);
+  return tags;
+}
+
+void BM_Encode(benchmark::State& state) {
+  Alphabet tags = MakeTags();
+  Rng rng(42);
+  RandomUnrankedOptions opts;
+  opts.target_size = static_cast<size_t>(state.range(0));
+  opts.max_children = 6;
+  opts.max_depth = 1u << 20;
+  UnrankedTree tree = RandomUnrankedTree(tags, rng, opts);
+  auto enc = std::move(MakeEncodedAlphabet(tags)).ValueOrDie();
+  size_t encoded_nodes = 0;
+  for (auto _ : state) {
+    auto bin = EncodeTree(tree, enc);
+    PEBBLETC_CHECK(bin.ok());
+    encoded_nodes = bin->size();
+    benchmark::DoNotOptimize(bin);
+  }
+  state.counters["unranked_nodes"] = static_cast<double>(tree.size());
+  state.counters["encoded_nodes"] = static_cast<double>(encoded_nodes);
+  state.counters["nodes_per_sec"] = benchmark::Counter(
+      static_cast<double>(tree.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Encode)->Arg(1024)->Arg(8192)->Arg(65536)->Arg(262144);
+
+void BM_DecodeRoundtrip(benchmark::State& state) {
+  Alphabet tags = MakeTags();
+  Rng rng(43);
+  RandomUnrankedOptions opts;
+  opts.target_size = static_cast<size_t>(state.range(0));
+  opts.max_children = 6;
+  opts.max_depth = 1u << 20;
+  UnrankedTree tree = RandomUnrankedTree(tags, rng, opts);
+  auto enc = std::move(MakeEncodedAlphabet(tags)).ValueOrDie();
+  auto bin = std::move(EncodeTree(tree, enc)).ValueOrDie();
+  for (auto _ : state) {
+    auto back = DecodeTree(bin, enc);
+    PEBBLETC_CHECK(back.ok());
+    benchmark::DoNotOptimize(back);
+  }
+  // Bijection check once.
+  auto back = std::move(DecodeTree(bin, enc)).ValueOrDie();
+  state.counters["roundtrip_exact"] = (back == tree) ? 1 : 0;
+}
+BENCHMARK(BM_DecodeRoundtrip)->Arg(1024)->Arg(8192)->Arg(65536)->Arg(262144);
+
+void BM_PathTranslation(benchmark::State& state) {
+  // Translation of a.(b|(c.d))*.e — the paper's Section 2.1 example — plus
+  // evaluation on the encoded tree; checked against unranked evaluation.
+  Alphabet tags = MakeTags();
+  Rng rng(44);
+  RandomUnrankedOptions opts;
+  opts.target_size = static_cast<size_t>(state.range(0));
+  opts.max_children = 5;
+  opts.max_depth = 1u << 20;
+  UnrankedTree tree = RandomUnrankedTree(tags, rng, opts);
+  auto enc = std::move(MakeEncodedAlphabet(tags)).ValueOrDie();
+  std::vector<NodeId> node_map;
+  auto bin = std::move(EncodeTree(tree, enc, &node_map)).ValueOrDie();
+  auto regex =
+      std::move(ParseRegexClosed("a.(b|(c.d))*.d", tags)).ValueOrDie();
+  Dfa unranked_dfa =
+      CompileRegexToDfa(regex, static_cast<uint32_t>(tags.size()));
+  auto translated =
+      std::move(TranslatePathExpression(regex, enc)).ValueOrDie();
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = EvalPathBinary(bin, translated);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  // Commutation check (Section 2.1).
+  auto unranked_hits = EvalPath(tree, unranked_dfa);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["commutes"] = (unranked_hits.size() == hits) ? 1 : 0;
+  state.counters["translated_dfa_states"] =
+      static_cast<double>(translated.num_states());
+}
+BENCHMARK(BM_PathTranslation)->Arg(1024)->Arg(8192)->Arg(65536);
+
+}  // namespace
+}  // namespace pebbletc

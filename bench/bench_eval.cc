@@ -1,0 +1,106 @@
+// E2 (Proposition 3.8): building the output automaton A_t — the polynomial
+// DAG of T(t) — costs O(n^k) configurations; membership t′ ∈ T(t) is PTIME.
+// Series: configurations and wall time vs input size for a 1-pebble machine
+// (copy) and a 3-pebble machine (a compiled selection query).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/pt/eval.h"
+#include "src/pt/paper_machines.h"
+#include "src/query/selection.h"
+#include "src/tree/encode.h"
+#include "src/tree/random_tree.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+namespace {
+
+RankedAlphabet TinyRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("a0");
+  (void)sigma.AddLeaf("b0");
+  (void)sigma.AddBinary("a2");
+  (void)sigma.AddBinary("b2");
+  return sigma;
+}
+
+void BM_OutputAutomatonCopy(benchmark::State& state) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Rng rng(7);
+  BinaryTree input =
+      RandomBinaryTree(sigma, rng, static_cast<size_t>(state.range(0)));
+  size_t configs = 0;
+  for (auto _ : state) {
+    auto dag = BuildOutputAutomaton(copy, input);
+    PEBBLETC_CHECK(dag.ok());
+    configs = dag->num_configs;
+    benchmark::DoNotOptimize(dag);
+  }
+  state.counters["input_nodes"] = static_cast<double>(input.size());
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["configs_per_node"] =
+      static_cast<double>(configs) / static_cast<double>(input.size());
+}
+BENCHMARK(BM_OutputAutomatonCopy)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_OutputAutomatonSelection(benchmark::State& state) {
+  // A 1-variable selection query: 3 pebbles → O(n^2)-ish configurations.
+  Alphabet tags;
+  for (const char* n : {"r", "a", "b"}) tags.Intern(n);
+  SelectionQuery q;
+  q.pattern = std::move(ParsePattern("[r.(a|b)*.a]", &tags)).ValueOrDie();
+  q.selected = 0;
+  Alphabet out_tags;
+  SelectionOutputTags ot = ExtendAlphabetForSelection(tags, &out_tags);
+  auto in_enc = std::move(MakeEncodedAlphabet(tags)).ValueOrDie();
+  auto out_enc = std::move(MakeEncodedAlphabet(out_tags)).ValueOrDie();
+  auto t = std::move(CompileSelectionQuery(q, in_enc, out_enc, ot))
+               .ValueOrDie();
+
+  // Input: r with n children alternating a/b.
+  std::string text = "r(";
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) text += (i ? (i % 2 ? ",a" : ",b") : "a");
+  text += ")";
+  auto doc = std::move(ParseUnrankedTerm(text, &tags)).ValueOrDie();
+  auto input = std::move(EncodeTree(doc, in_enc)).ValueOrDie();
+
+  size_t configs = 0;
+  for (auto _ : state) {
+    auto dag = BuildOutputAutomaton(t, input);
+    PEBBLETC_CHECK(dag.ok());
+    configs = dag->num_configs;
+    benchmark::DoNotOptimize(dag);
+  }
+  state.counters["input_nodes"] = static_cast<double>(input.size());
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["configs_per_node2"] =
+      static_cast<double>(configs) /
+      (static_cast<double>(input.size()) * static_cast<double>(input.size()));
+}
+BENCHMARK(BM_OutputAutomatonSelection)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Membership(benchmark::State& state) {
+  // t′ ∈ T(t) via A_t (Prop. 3.8 decision problem).
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Rng rng(9);
+  BinaryTree input =
+      RandomBinaryTree(sigma, rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto member = OutputContains(copy, input, input);
+    PEBBLETC_CHECK(member.ok() && *member);
+    benchmark::DoNotOptimize(member);
+  }
+  state.counters["input_nodes"] = static_cast<double>(input.size());
+}
+BENCHMARK(BM_Membership)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace pebbletc

@@ -1,0 +1,86 @@
+// E4 (Example 3.7 / Figure 2): the rotation transducer produces linear-size
+// output (input + the two fresh nodes m, n) and runs in near-linear time on
+// string-shaped (right-linear) inputs — including the string-reversal
+// special case.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/check.h"
+#include "src/pt/eval.h"
+#include "src/pt/paper_machines.h"
+
+namespace pebbletc {
+namespace {
+
+struct Fixture {
+  RankedAlphabet sigma;
+  RankedAlphabet out_sigma;
+  RotationSymbols syms;
+
+  Fixture() {
+    (void)sigma.AddLeaf("e");
+    (void)sigma.AddLeaf("s");
+    (void)sigma.AddBinary("x");
+    (void)sigma.AddBinary("r");
+    out_sigma = sigma;
+    syms.s_leaf = sigma.Find("s");
+    syms.root_symbol = sigma.Find("r");
+    syms.new_root = std::move(out_sigma.AddBinary("r2")).ValueOrDie();
+    syms.m_leaf = std::move(out_sigma.AddLeaf("m")).ValueOrDie();
+    syms.n_leaf = std::move(out_sigma.AddLeaf("n")).ValueOrDie();
+  }
+};
+
+// r(e, x(e, x(e, ... x(e, s)))) — a length-n string ending in s.
+BinaryTree RightComb(const Fixture& f, int n) {
+  BinaryTree t;
+  NodeId spine = t.AddLeaf(f.syms.s_leaf);
+  for (int i = 0; i < n; ++i) {
+    NodeId e = t.AddLeaf(f.sigma.Find("e"));
+    spine = t.AddInternal(f.sigma.Find("x"), e, spine);
+  }
+  NodeId e = t.AddLeaf(f.sigma.Find("e"));
+  t.SetRoot(t.AddInternal(f.sigma.Find("r"), e, spine));
+  return t;
+}
+
+void BM_RotationStringReversal(benchmark::State& state) {
+  Fixture f;
+  auto t =
+      std::move(MakeRotationTransducer(f.sigma, f.out_sigma, f.syms))
+          .ValueOrDie();
+  BinaryTree input = RightComb(f, static_cast<int>(state.range(0)));
+  size_t out_size = 0;
+  for (auto _ : state) {
+    auto out = EvalDeterministic(t, input, 1u << 30);
+    PEBBLETC_CHECK(out.ok());
+    out_size = out->size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["input_nodes"] = static_cast<double>(input.size());
+  state.counters["output_nodes"] = static_cast<double>(out_size);
+  state.counters["linear_plus_two"] =
+      (out_size == input.size() + 2) ? 1 : 0;
+}
+BENCHMARK(BM_RotationStringReversal)
+    ->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RotationMembershipViaDag(benchmark::State& state) {
+  // Prop. 3.8 cross-check at benchmark scale: A_t accepts the direct output.
+  Fixture f;
+  auto t =
+      std::move(MakeRotationTransducer(f.sigma, f.out_sigma, f.syms))
+          .ValueOrDie();
+  BinaryTree input = RightComb(f, static_cast<int>(state.range(0)));
+  auto out = std::move(EvalDeterministic(t, input, 1u << 30)).ValueOrDie();
+  for (auto _ : state) {
+    auto member = OutputContains(t, input, out);
+    PEBBLETC_CHECK(member.ok() && *member);
+    benchmark::DoNotOptimize(member);
+  }
+  state.counters["input_nodes"] = static_cast<double>(input.size());
+}
+BENCHMARK(BM_RotationMembershipViaDag)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace pebbletc

@@ -1,0 +1,83 @@
+// Selection queries on XML documents — the Example 3.5 pipeline.
+//
+// A tree pattern with regular path expressions is compiled to an
+// (m+2)-pebble transducer that enumerates all matches with pebbles and
+// copies each binding of the selected variable into the result document.
+//
+// Build & run:  ./build/examples/pattern_query
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/pt/eval.h"
+#include "src/query/selection.h"
+#include "src/tree/encode.h"
+#include "src/xml/xml.h"
+
+using namespace pebbletc;
+
+template <typename T>
+T Get(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << ": " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+int main() {
+  Alphabet tags;
+  UnrankedTree doc = Get(ParseXml(R"(
+    <bib>
+      <book> <title/> <author/> <author/> </book>
+      <book> <title/> </book>
+      <paper> <title/> <author/> </paper>
+    </bib>)",
+                                  &tags),
+                         "parse document");
+  std::cout << "document: " << XmlString(doc, tags) << "\n\n";
+
+  // Query: the books that have an author; return the whole <book>.
+  SelectionQuery query;
+  query.pattern =
+      Get(ParsePattern("[bib.book]([book.author])", &tags), "parse pattern");
+  query.selected = 0;
+
+  // Direct semantics: enumerate matches.
+  auto matches =
+      MatchPattern(query.pattern, doc, static_cast<uint32_t>(tags.size()));
+  std::cout << "pattern matches (tuples of bound nodes): " << matches.size()
+            << "\n";
+
+  // Compile to a pebble transducer (Example 3.5): m pattern nodes need
+  // m + 2 pebbles (root marker + variables + checker).
+  Alphabet out_tags;
+  SelectionOutputTags out = ExtendAlphabetForSelection(tags, &out_tags);
+  EncodedAlphabet in_enc = Get(MakeEncodedAlphabet(tags), "enc in");
+  EncodedAlphabet out_enc = Get(MakeEncodedAlphabet(out_tags), "enc out");
+  PebbleTransducer t =
+      Get(CompileSelectionQuery(query, in_enc, out_enc, out), "compile");
+  std::cout << "compiled machine: " << t.max_pebbles() << " pebbles, "
+            << t.num_states() << " states, " << t.transitions().size()
+            << " transitions\n\n";
+
+  BinaryTree encoded = Get(EncodeTree(doc, in_enc), "encode");
+  BinaryTree result_bin =
+      Get(EvalDeterministic(t, encoded, 100'000'000), "run");
+  UnrankedTree result = Get(DecodeTree(result_bin, out_enc), "decode");
+  std::cout << "query result:\n"
+            << XmlString(result, out_tags, /*indent=*/true);
+
+  // The reference semantics agrees, of course.
+  UnrankedTree reference =
+      Get(EvalSelectionReference(query, doc, tags, out), "reference");
+  std::cout << "\nmachine output == reference semantics: "
+            << (result == reference ? "yes" : "NO (bug!)") << "\n";
+
+  // Prop. 3.8: the per-input configuration space is polynomial.
+  OutputAutomaton dag = Get(BuildOutputAutomaton(t, encoded), "A_t");
+  std::cout << "Prop 3.8 output automaton: " << dag.num_configs
+            << " configurations on a " << encoded.size()
+            << "-node encoded input\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: the full pebbletc workflow in one file.
+//
+//   1. Parse an XML document and DTDs.
+//   2. Write a small XSLT-fragment program and compile it to a k-pebble
+//      transducer (the paper's model of XML transformations).
+//   3. Run the transducer on the document.
+//   4. Statically typecheck the transformation: does every valid input map
+//      to a valid output? (Theorem 4.4.)
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/typechecker.h"
+#include "src/dtd/dtd.h"
+#include "src/pt/eval.h"
+#include "src/query/xslt.h"
+#include "src/tree/encode.h"
+#include "src/xml/xml.h"
+
+using namespace pebbletc;
+
+// Dies with a message on error — fine for an example.
+template <typename T>
+T Get(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << ": " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+int main() {
+  // --- 1. The transformation: rename every <article> to <item>, wrap its
+  //        content, and drop nothing.
+  Alphabet input_tags, output_tags;
+  XsltProgram program = Get(ParseXslt(R"(
+    template catalog { list  { apply } }
+    template article { item  { apply } }
+    template author  { byline }
+  )",
+                                      &input_tags, &output_tags),
+                            "parse program");
+
+  // --- 2. The document.
+  UnrankedTree doc = Get(ParseXml(R"(
+    <catalog>
+      <article> <author/> <author/> </article>
+      <article> <author/> </article>
+    </catalog>)",
+                                  &input_tags),
+                         "parse document");
+  std::cout << "input:  " << XmlString(doc, input_tags) << "\n";
+
+  // --- 3. Compile and run. Everything happens on binary encodings
+  //        (Section 2.1 of the paper); encode/decode are exact inverses.
+  EncodedAlphabet in_enc = Get(MakeEncodedAlphabet(input_tags), "encode in");
+  EncodedAlphabet out_enc =
+      Get(MakeEncodedAlphabet(output_tags), "encode out");
+  PebbleTransducer transducer =
+      Get(CompileXslt(program, in_enc, out_enc), "compile program");
+  std::cout << "compiled to a " << transducer.max_pebbles()
+            << "-pebble transducer with " << transducer.num_states()
+            << " states\n";
+
+  BinaryTree encoded = Get(EncodeTree(doc, in_enc), "encode doc");
+  BinaryTree out_encoded =
+      Get(EvalDeterministic(transducer, encoded), "run transducer");
+  UnrankedTree out = Get(DecodeTree(out_encoded, out_enc), "decode output");
+  std::cout << "output: " << XmlString(out, output_tags) << "\n";
+
+  // --- 4. Static typechecking against DTDs.
+  SpecializedDtd input_dtd = Get(ParseDtd(R"(
+    catalog := article*
+    article := author*
+    author  := ()
+  )"),
+                                 "parse input DTD");
+  SpecializedDtd output_dtd = Get(ParseDtd(R"(
+    list   := item*
+    item   := byline*
+    byline := ()
+  )"),
+                                  "parse output DTD");
+  Nbta tau1 = Get(CompileDtdToNbta(input_dtd, in_enc), "compile input DTD");
+  Nbta tau2 = Get(CompileDtdToNbta(output_dtd, out_enc), "compile output DTD");
+
+  Typechecker tc(transducer, in_enc.ranked, out_enc.ranked);
+  TypecheckResult verdict = Get(tc.Typecheck(tau1, tau2), "typecheck");
+  std::cout << "typecheck vs correct output DTD: "
+            << (verdict.verdict == TypecheckVerdict::kTypechecks
+                    ? "TYPECHECKS"
+                    : "FAILED")
+            << "  (method: " << verdict.method << ")\n";
+
+  // A wrong output DTD (items may not be empty) is refuted with a concrete
+  // counterexample document.
+  SpecializedDtd wrong_dtd = Get(ParseDtd(R"(
+    list   := item*
+    item   := byline.byline*
+    byline := ()
+  )"),
+                                 "parse wrong DTD");
+  Nbta tau2_wrong =
+      Get(CompileDtdToNbta(wrong_dtd, out_enc), "compile wrong DTD");
+  TypecheckResult refuted = Get(tc.Typecheck(tau1, tau2_wrong), "typecheck");
+  std::cout << "typecheck vs wrong output DTD:   "
+            << (refuted.verdict == TypecheckVerdict::kCounterexample
+                    ? "COUNTEREXAMPLE"
+                    : "unexpected")
+            << "\n";
+  if (refuted.counterexample_input.has_value()) {
+    UnrankedTree bad_doc =
+        Get(DecodeTree(*refuted.counterexample_input, in_enc), "decode");
+    std::cout << "  offending input: " << XmlString(bad_doc, input_tags)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Invariant checking. PEBBLETC_CHECK is always on (it guards library
+// invariants whose violation means a bug, not a user error); PEBBLETC_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+
+#ifndef PEBBLETC_COMMON_CHECK_H_
+#define PEBBLETC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pebbletc {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Returned by the CHECK macros so callers can stream extra context:
+///   PEBBLETC_CHECK(x > 0) << "x was " << x;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_check
+}  // namespace pebbletc
+
+#define PEBBLETC_CHECK(condition)                                   \
+  switch (0)                                                        \
+  case 0:                                                           \
+  default:                                                          \
+    if (condition)                                                  \
+      ;                                                             \
+    else                                                            \
+      ::pebbletc::internal_check::CheckFailureStream(#condition,    \
+                                                     __FILE__, __LINE__)
+
+#ifdef NDEBUG
+// `condition` stays syntactically referenced (so variables used only in
+// DCHECKs do not trigger -Wunused) but is never evaluated.
+#define PEBBLETC_DCHECK(condition)                     \
+  switch (0)                                           \
+  case 0:                                              \
+  default:                                             \
+    if (true || (condition))                           \
+      ;                                                \
+    else                                               \
+      ::pebbletc::internal_check::NullStream()
+#else
+#define PEBBLETC_DCHECK(condition) PEBBLETC_CHECK(condition)
+#endif
+
+#endif  // PEBBLETC_COMMON_CHECK_H_

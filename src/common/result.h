@@ -1,0 +1,82 @@
+// Result<T>: a value or a Status, the return type of fallible value-producing
+// operations throughout pebbletc. See src/common/status.h for the error model.
+
+#ifndef PEBBLETC_COMMON_RESULT_H_
+#define PEBBLETC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace pebbletc {
+
+/// Holds either a successfully computed `T` or the `Status` explaining why the
+/// computation failed. Implicitly constructible from both so that functions
+/// can `return value;` or `return Status::ParseError(...);` symmetrically.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PEBBLETC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+  /// Constructs a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the value; the result must be ok().
+  const T& value() const& {
+    PEBBLETC_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PEBBLETC_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PEBBLETC_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or dies with the error message. For tests and examples
+  /// where failure is a bug.
+  T ValueOrDie() && {
+    PEBBLETC_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pebbletc
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on failure, binding
+/// the value to `lhs` on success. `lhs` may include a declaration, e.g.
+/// PEBBLETC_ASSIGN_OR_RETURN(auto dfa, Determinize(nfa));
+#define PEBBLETC_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  PEBBLETC_ASSIGN_OR_RETURN_IMPL_(                                     \
+      PEBBLETC_RESULT_CONCAT_(pebbletc_result_, __LINE__), lhs, rexpr)
+
+#define PEBBLETC_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                    \
+  if (!var.ok()) {                                       \
+    return var.status();                                 \
+  }                                                      \
+  lhs = std::move(var).value()
+
+#define PEBBLETC_RESULT_CONCAT_INNER_(a, b) a##b
+#define PEBBLETC_RESULT_CONCAT_(a, b) PEBBLETC_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // PEBBLETC_COMMON_RESULT_H_

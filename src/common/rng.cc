@@ -1,0 +1,61 @@
+#include "src/common/rng.h"
+
+namespace pebbletc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  PEBBLETC_CHECK(bound > 0) << "NextBelow(0)";
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const uint64_t threshold = -bound % bound;  // == 2^64 mod bound
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  PEBBLETC_CHECK(lo <= hi) << "NextInRange(" << lo << "," << hi << ")";
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace pebbletc

@@ -1,0 +1,108 @@
+// Status: error propagation without exceptions for the pebbletc library.
+//
+// Every fallible public API in pebbletc returns either a `Status` (operations
+// with no payload) or a `Result<T>` (operations producing a value; see
+// src/common/result.h). The design follows the Arrow/RocksDB idiom: a status
+// is cheap to copy in the OK case, carries a code plus a human-readable
+// message otherwise, and is annotated [[nodiscard]] so callers cannot silently
+// drop failures.
+
+#ifndef PEBBLETC_COMMON_STATUS_H_
+#define PEBBLETC_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pebbletc {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed an argument that violates the API contract.
+  kInvalidArgument,
+  /// A lookup failed (symbol, state, file, ...).
+  kNotFound,
+  /// The operation requires object state that does not hold (e.g. running a
+  /// non-deterministic transducer through the deterministic evaluator).
+  kFailedPrecondition,
+  /// A numeric limit was exceeded (configured state budget, recursion depth).
+  kResourceExhausted,
+  /// Input text failed to parse.
+  kParseError,
+  /// The requested feature is specified but not implemented.
+  kUnimplemented,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of `code` ("ok", "invalid-argument"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. OK statuses are represented by a null pointer, so
+/// the happy path costs one pointer and no allocation.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  std::string_view message() const {
+    return ok() ? std::string_view() : std::string_view(state_->message);
+  }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context + ": "` prepended to the
+  /// message. OK statuses are returned unchanged. Used to build error traces
+  /// as failures propagate upward.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace pebbletc
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define PEBBLETC_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::pebbletc::Status pebbletc_status_tmp = (expr);    \
+    if (!pebbletc_status_tmp.ok()) {                    \
+      return pebbletc_status_tmp;                       \
+    }                                                   \
+  } while (false)
+
+#endif  // PEBBLETC_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across pebbletc parsers and printers.
+
+#ifndef PEBBLETC_COMMON_STR_UTIL_H_
+#define PEBBLETC_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pebbletc {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `c` is a valid symbol-name character: alphanumeric, '_', or '-'.
+bool IsSymbolChar(char c);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_COMMON_STR_UTIL_H_

@@ -1,0 +1,189 @@
+#include "src/core/downward.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+bool IsDownwardTransducer(const PebbleTransducer& t) {
+  if (t.max_pebbles() != 1) return false;
+  using M = PebbleTransducer::MoveKind;
+  for (const auto& tr : t.transitions()) {
+    if (tr.kind != PebbleTransducer::TransitionKind::kMove) continue;
+    if (tr.move != M::kStay && tr.move != M::kDownLeft &&
+        tr.move != M::kDownRight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// A subset of Q_T × Q_D, as a sorted vector of pair indices qT*nd + qD.
+using Subset = std::vector<uint32_t>;
+
+}  // namespace
+
+Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
+                                      const RankedAlphabet& input_alphabet,
+                                      size_t max_states) {
+  if (!IsDownwardTransducer(t)) {
+    return Status::InvalidArgument(
+        "transducer is outside the downward fragment");
+  }
+  if (input_alphabet.size() != t.num_input_symbols()) {
+    return Status::InvalidArgument("input alphabet size mismatch");
+  }
+  if (d.num_symbols() != t.num_output_symbols()) {
+    return Status::InvalidArgument(
+        "output automaton alphabet does not match the transducer");
+  }
+  const uint32_t nt = t.num_states();
+  const uint32_t nd = d.num_states();
+  const size_t pairs = static_cast<size_t>(nt) * nd;
+
+  using M = PebbleTransducer::MoveKind;
+  using TK = PebbleTransducer::TransitionKind;
+
+  // Transitions applicable at a node labelled `a` (guards are symbol-only in
+  // the downward fragment).
+  auto guard_matches = [](const PebbleGuard& g, SymbolId a) {
+    return g.symbol == kAnySymbol || g.symbol == a;
+  };
+
+  // Computes S for a node labelled `a` whose children (if any) carry subsets
+  // `left`/`right` (null for leaves).
+  auto node_set = [&](SymbolId a, const Subset* left,
+                      const Subset* right) -> Subset {
+    std::vector<bool> in(pairs, false);
+    // Bitset views of the child subsets for O(1) membership.
+    std::vector<bool> left_in(pairs, false), right_in(pairs, false);
+    if (left != nullptr) {
+      for (uint32_t k : *left) left_in[k] = true;
+    }
+    if (right != nullptr) {
+      for (uint32_t k : *right) right_in[k] = true;
+    }
+    auto add = [&](uint32_t qt, uint32_t qd) -> bool {
+      size_t idx = static_cast<size_t>(qt) * nd + qd;
+      if (in[idx]) return false;
+      in[idx] = true;
+      return true;
+    };
+    auto has = [&](const std::vector<bool>& s, uint32_t qt, uint32_t qd) {
+      return s[static_cast<size_t>(qt) * nd + qd];
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& tr : t.transitions()) {
+        if (!guard_matches(tr.guard, a)) continue;
+        switch (tr.kind) {
+          case TK::kOutputLeaf:
+            changed |= add(tr.from, d.LeafState(tr.output_symbol));
+            break;
+          case TK::kOutputBinary:
+            for (uint32_t d1 = 0; d1 < nd; ++d1) {
+              if (!in[static_cast<size_t>(tr.out_left) * nd + d1]) continue;
+              for (uint32_t d2 = 0; d2 < nd; ++d2) {
+                if (!in[static_cast<size_t>(tr.out_right) * nd + d2]) continue;
+                changed |= add(tr.from, d.Next(tr.output_symbol, d1, d2));
+              }
+            }
+            break;
+          case TK::kMove:
+            switch (tr.move) {
+              case M::kStay:
+                for (uint32_t qd = 0; qd < nd; ++qd) {
+                  if (in[static_cast<size_t>(tr.to) * nd + qd]) {
+                    changed |= add(tr.from, qd);
+                  }
+                }
+                break;
+              case M::kDownLeft:
+                for (uint32_t qd = 0; qd < nd; ++qd) {
+                  if (has(left_in, tr.to, qd)) changed |= add(tr.from, qd);
+                }
+                break;
+              case M::kDownRight:
+                for (uint32_t qd = 0; qd < nd; ++qd) {
+                  if (has(right_in, tr.to, qd)) changed |= add(tr.from, qd);
+                }
+                break;
+              default:
+                PEBBLETC_CHECK(false) << "non-downward move survived check";
+            }
+            break;
+        }
+      }
+    }
+    Subset out;
+    for (uint32_t i = 0; i < pairs; ++i) {
+      if (in[i]) out.push_back(i);
+    }
+    return out;
+  };
+
+  // Lazy closure over reachable subsets.
+  std::map<Subset, StateId> index;
+  std::vector<Subset> subsets;
+  auto intern = [&](Subset s) -> StateId {
+    auto [it, inserted] = index.emplace(std::move(s), subsets.size());
+    if (inserted) subsets.push_back(it->first);
+    return it->second;
+  };
+
+  Nbta out;
+  out.num_symbols = static_cast<uint32_t>(input_alphabet.size());
+  std::vector<std::pair<SymbolId, StateId>> leaf_rules;
+  for (SymbolId a : input_alphabet.LeafSymbols()) {
+    leaf_rules.push_back({a, intern(node_set(a, nullptr, nullptr))});
+  }
+
+  std::map<std::tuple<SymbolId, StateId, StateId>, StateId> trans;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t snapshot = subsets.size();
+    if (max_states != 0 && snapshot > max_states) {
+      return Status::ResourceExhausted(
+          "downward subset construction exceeded " +
+          std::to_string(max_states) + " states");
+    }
+    for (SymbolId a : input_alphabet.BinarySymbols()) {
+      for (StateId i = 0; i < snapshot; ++i) {
+        for (StateId j = 0; j < snapshot; ++j) {
+          auto key = std::make_tuple(a, i, j);
+          if (trans.count(key)) continue;
+          trans[key] = intern(node_set(a, &subsets[i], &subsets[j]));
+        }
+      }
+    }
+    if (subsets.size() > snapshot) changed = true;
+  }
+
+  for (size_t i = 0; i < subsets.size(); ++i) out.AddState();
+  for (auto [a, q] : leaf_rules) out.AddLeafRule(a, q);
+  for (const auto& [key, to] : trans) {
+    auto [a, l, r] = key;
+    out.AddRule(a, l, r, to);
+  }
+  // Accepting: some output from the initial transducer state is accepted
+  // by D.
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    for (uint32_t k : subsets[i]) {
+      if (k / nd == t.start() && d.accepting(k % nd)) {
+        out.accepting[i] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pebbletc

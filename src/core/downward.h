@@ -1,0 +1,37 @@
+// The practical typechecking path for the *top-down fragment*: 1-pebble
+// transducers whose moves only go downwards (stay / down-left / down-right).
+// Classical top-down transducers (Def. 3.2) embed into this fragment, which
+// covers the XSLT-style template languages of Section 5's "restricted cases
+// of practical interest".
+//
+// For a downward transducer T and a *deterministic* bottom-up automaton D
+// over the output alphabet, the set {t | T(t) ∩ inst(D) ≠ ∅} is computed
+// directly by a lazy subset construction over Q_T × Q_D — exponential in the
+// worst case (the paper's 2-EXPTIME discussion) but far below the
+// non-elementary general pipeline, and cheap on realistic machines.
+
+#ifndef PEBBLETC_CORE_DOWNWARD_H_
+#define PEBBLETC_CORE_DOWNWARD_H_
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/pt/transducer.h"
+#include "src/ta/nbta.h"
+
+namespace pebbletc {
+
+/// True if `t` is in the downward fragment: one pebble and only
+/// stay/down-left/down-right moves.
+bool IsDownwardTransducer(const PebbleTransducer& t);
+
+/// Builds a (deterministic, reachable-subset) bottom-up automaton over the
+/// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }. `max_states` bounds
+/// the subset space (0 = unlimited). Fails with kInvalidArgument if `t` is
+/// not downward or alphabets mismatch.
+Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
+                                      const RankedAlphabet& input_alphabet,
+                                      size_t max_states = 0);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_CORE_DOWNWARD_H_

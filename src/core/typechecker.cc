@@ -1,0 +1,196 @@
+#include "src/core/typechecker.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/downward.h"
+#include "src/pa/behavior.h"
+#include "src/pa/product.h"
+#include "src/pa/to_mso.h"
+#include "src/pt/eval.h"
+#include "src/ta/convert.h"
+#include "src/ta/enumerate.h"
+#include "src/ta/topdown.h"
+
+namespace pebbletc {
+
+Typechecker::Typechecker(const PebbleTransducer& transducer,
+                         const RankedAlphabet& input_alphabet,
+                         const RankedAlphabet& output_alphabet)
+    : transducer_(transducer),
+      input_alphabet_(input_alphabet),
+      output_alphabet_(output_alphabet) {}
+
+Result<bool> Typechecker::CheckOnInput(
+    const BinaryTree& input, const Nbta& output_type,
+    const TypecheckOptions& options,
+    std::optional<BinaryTree>* violating_output) const {
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta not_tau2,
+      ComplementNbta(output_type, output_alphabet_, options.max_det_states));
+  PEBBLETC_ASSIGN_OR_RETURN(
+      OutputAutomaton a_t,
+      BuildOutputAutomaton(transducer_, input, options.max_configs));
+  Nbta outputs = TopDownToNbta(a_t.automaton);
+  Nbta bad = TrimNbta(IntersectNbta(outputs, not_tau2));
+  std::optional<BinaryTree> witness = WitnessTree(bad);
+  if (witness.has_value()) {
+    if (violating_output != nullptr) *violating_output = std::move(witness);
+    return false;
+  }
+  return true;
+}
+
+Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& output_type,
+                                             const TypecheckOptions& options,
+                                             MsoCompileStats* stats,
+                                             std::string* method) const {
+  // Prop. 4.6: A = T × complement(τ2) accepts {t | T(t) ⊄ τ2}.
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta not_tau2,
+      ComplementNbta(output_type, output_alphabet_, options.max_det_states));
+  TopDownTA b = NbtaToTopDown(TrimNbta(not_tau2));
+  PEBBLETC_ASSIGN_OR_RETURN(PebbleAutomaton product,
+                            TransducerTimesTopDown(transducer_, b));
+  // Regularize. For one pebble, behavior composition reaches machines the
+  // MSO route cannot; fall back to Thm 4.7's construction otherwise.
+  if (transducer_.max_pebbles() == 1) {
+    BehaviorOptions bopts;
+    bopts.max_state_bits = options.behavior_max_state_bits;
+    bopts.max_behaviors = options.behavior_max_behaviors;
+    auto by_behavior =
+        OnePebbleToNbtaByBehavior(product, input_alphabet_, bopts);
+    if (by_behavior.ok()) {
+      if (method != nullptr) *method = "behavior-complete";
+      return by_behavior;
+    }
+    if (by_behavior.status().code() != StatusCode::kResourceExhausted) {
+      return by_behavior.status();
+    }
+  }
+  MsoCompileOptions mso;
+  mso.max_det_states = options.max_det_states;
+  mso.stats = stats;
+  if (method != nullptr) *method = "mso-complete";
+  return PebbleAutomatonToNbta(product, input_alphabet_, mso);
+}
+
+Result<Nbta> Typechecker::InferInverseType(
+    const Nbta& output_type, const TypecheckOptions& options) const {
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta bad, BadInputsAutomaton(output_type, options, nullptr, nullptr));
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta inverse,
+      ComplementNbta(bad, input_alphabet_, options.max_det_states));
+  return TrimNbta(inverse);
+}
+
+Result<TypecheckResult> Typechecker::Typecheck(
+    const Nbta& input_type, const Nbta& output_type,
+    const TypecheckOptions& options) const {
+  PEBBLETC_RETURN_IF_ERROR(
+      transducer_.Validate(input_alphabet_, output_alphabet_));
+  PEBBLETC_RETURN_IF_ERROR(input_type.Validate(input_alphabet_));
+  PEBBLETC_RETURN_IF_ERROR(output_type.Validate(output_alphabet_));
+
+  TypecheckResult result;
+
+  // Pass 1: bounded refutation — exact per-input checks on small τ1 trees.
+  if (options.refutation_max_trees > 0) {
+    std::vector<BinaryTree> inputs =
+        EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
+                               options.refutation_max_trees);
+    for (BinaryTree& input : inputs) {
+      std::optional<BinaryTree> violating;
+      auto ok = CheckOnInput(input, output_type, options, &violating);
+      if (!ok.ok()) {
+        result.notes += "refutation pass: " + ok.status().ToString() + "; ";
+        break;
+      }
+      if (!*ok) {
+        result.verdict = TypecheckVerdict::kCounterexample;
+        result.method = "bounded-refutation";
+        result.counterexample_input = std::move(input);
+        result.counterexample_output = std::move(violating);
+        return result;
+      }
+    }
+  }
+
+  // Pass 2: complete decision for the downward fragment.
+  if (IsDownwardTransducer(transducer_)) {
+    auto verdict = [&]() -> Result<TypecheckResult> {
+      PEBBLETC_ASSIGN_OR_RETURN(
+          Nbta not_tau2, ComplementNbta(output_type, output_alphabet_,
+                                        options.max_det_states));
+      PEBBLETC_ASSIGN_OR_RETURN(
+          Dbta d, DeterminizeNbta(TrimNbta(not_tau2), output_alphabet_,
+                                  options.max_det_states));
+      PEBBLETC_ASSIGN_OR_RETURN(
+          Nbta bad_inputs,
+          DownwardProductAutomaton(transducer_, d, input_alphabet_,
+                                   options.fastpath_max_states));
+      Nbta offending = TrimNbta(IntersectNbta(input_type, bad_inputs));
+      TypecheckResult r;
+      r.method = "downward-fastpath";
+      std::optional<BinaryTree> witness = WitnessTree(offending);
+      if (!witness.has_value()) {
+        r.verdict = TypecheckVerdict::kTypechecks;
+        return r;
+      }
+      r.verdict = TypecheckVerdict::kCounterexample;
+      // Recover a violating output for the witness input.
+      std::optional<BinaryTree> violating;
+      auto per_tree =
+          CheckOnInput(*witness, output_type, options, &violating);
+      if (per_tree.ok() && !*per_tree) {
+        r.counterexample_output = std::move(violating);
+      }
+      r.counterexample_input = std::move(witness);
+      return r;
+    }();
+    if (verdict.ok()) {
+      verdict->notes = result.notes + verdict->notes;
+      return verdict;
+    }
+    if (verdict.status().code() != StatusCode::kResourceExhausted) {
+      return verdict.status();
+    }
+    result.notes += "downward fast path: " + verdict.status().ToString() + "; ";
+  }
+
+  // Pass 3: the complete (non-elementary) decision.
+  if (options.run_complete_decision) {
+    std::string method = "mso-complete";
+    auto bad =
+        BadInputsAutomaton(output_type, options, &result.mso_stats, &method);
+    if (bad.ok()) {
+      Nbta offending = TrimNbta(IntersectNbta(input_type, *bad));
+      std::optional<BinaryTree> witness = WitnessTree(offending);
+      result.method = method;
+      if (!witness.has_value()) {
+        result.verdict = TypecheckVerdict::kTypechecks;
+        return result;
+      }
+      result.verdict = TypecheckVerdict::kCounterexample;
+      std::optional<BinaryTree> violating;
+      auto per_tree = CheckOnInput(*witness, output_type, options, &violating);
+      if (per_tree.ok() && !*per_tree) {
+        result.counterexample_output = std::move(violating);
+      }
+      result.counterexample_input = std::move(witness);
+      return result;
+    }
+    if (bad.status().code() != StatusCode::kResourceExhausted) {
+      return bad.status();
+    }
+    result.notes += "complete decision: " + bad.status().ToString() + "; ";
+  }
+
+  result.verdict = TypecheckVerdict::kInconclusive;
+  result.method = "none";
+  return result;
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,123 @@
+// The typechecker (Theorem 4.4): given a k-pebble transducer T, an input
+// type τ1 and an output type τ2 (regular tree languages over the binary
+// encodings), decide whether T(τ1) ⊆ τ2.
+//
+// Three cooperating procedures, in escalating cost:
+//  1. *Bounded refutation*: enumerate small τ1-trees, and for each t decide
+//     T(t) ⊆ τ2 exactly via the Prop. 3.8 automaton A_t (inst(A_t) = T(t),
+//     so the check is emptiness of A_t ∩ complement(τ2)). Finds concrete
+//     counterexamples (input *and* violating output) quickly; cannot prove
+//     correctness.
+//  2. *Downward fast path* (complete for the top-down fragment): the lazy
+//     subset construction of src/core/downward.h.
+//  3. *Complete decision* (any k): the paper's pipeline — Prop. 4.6 product
+//     of T with complement(τ2), Theorem 4.7 MSO translation to a regular
+//     tree automaton, intersection with τ1, emptiness. Non-elementary
+//     (Theorem 4.8), so guarded by budgets.
+//
+// Inverse type inference (the paper's central notion) is exposed directly:
+// InferInverseType returns an automaton for τ2⁻¹ = {t | T(t) ⊆ τ2}.
+
+#ifndef PEBBLETC_CORE_TYPECHECKER_H_
+#define PEBBLETC_CORE_TYPECHECKER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/mso/compile.h"
+#include "src/pt/transducer.h"
+#include "src/ta/nbta.h"
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+struct TypecheckOptions {
+  /// Budget for each determinization in the MSO pipeline (0 = unlimited).
+  size_t max_det_states = 200000;
+  /// Budget for per-tree configuration spaces (Prop. 3.8).
+  size_t max_configs = 1u << 20;
+  /// Bounded refutation: how many τ1 trees to try (0 disables the pre-pass)
+  /// and the node-count cap per tree.
+  size_t refutation_max_trees = 100;
+  size_t refutation_max_nodes = 15;
+  /// Budget for the downward fast path's subset construction.
+  size_t fastpath_max_states = 100000;
+  /// Budgets for the 1-pebble behavior-composition path (complete for
+  /// machines with up-moves whose product stays small; tables are
+  /// 2^state_bits entries).
+  uint32_t behavior_max_state_bits = 12;
+  size_t behavior_max_behaviors = 4096;
+  /// Run the complete (non-elementary) decision when cheaper passes are
+  /// inconclusive.
+  bool run_complete_decision = true;
+};
+
+enum class TypecheckVerdict {
+  /// Proven: every output of T on every τ1 input conforms to τ2.
+  kTypechecks,
+  /// Refuted: a concrete input/output counterexample is attached.
+  kCounterexample,
+  /// All enabled procedures exhausted their budgets.
+  kInconclusive,
+};
+
+struct TypecheckResult {
+  TypecheckVerdict verdict = TypecheckVerdict::kInconclusive;
+  /// For kCounterexample: a τ1 input whose image leaves τ2, and (when the
+  /// deciding procedure can exhibit one) a violating output.
+  std::optional<BinaryTree> counterexample_input;
+  std::optional<BinaryTree> counterexample_output;
+  /// Which procedure decided: "bounded-refutation", "downward-fastpath",
+  /// "behavior-complete", "mso-complete", or "none".
+  std::string method = "none";
+  /// Budget failures encountered along the way (empty if none).
+  std::string notes;
+  /// MSO compilation metrics when the complete pipeline ran.
+  MsoCompileStats mso_stats;
+};
+
+class Typechecker {
+ public:
+  /// The transducer and its alphabets. The alphabets must match the
+  /// transducer's declared sizes (checked in Typecheck/Infer calls).
+  Typechecker(const PebbleTransducer& transducer,
+              const RankedAlphabet& input_alphabet,
+              const RankedAlphabet& output_alphabet);
+
+  /// Decides (or refutes / gives up on) T(τ1) ⊆ τ2.
+  Result<TypecheckResult> Typecheck(const Nbta& input_type,
+                                    const Nbta& output_type,
+                                    const TypecheckOptions& options = {}) const;
+
+  /// Inverse type inference: an automaton for {t | T(t) ⊆ output_type},
+  /// via the complete pipeline. Non-elementary; honors the MSO budgets.
+  Result<Nbta> InferInverseType(const Nbta& output_type,
+                                const TypecheckOptions& options = {}) const;
+
+  /// Exact per-input check: T(input) ⊆ output_type? On refutation fills
+  /// `*violating_output` (if non-null) with a witness output.
+  Result<bool> CheckOnInput(const BinaryTree& input, const Nbta& output_type,
+                            const TypecheckOptions& options = {},
+                            std::optional<BinaryTree>* violating_output =
+                                nullptr) const;
+
+ private:
+  // {t | T(t) ∩ inst(complement(output_type)) ≠ ∅} as a regular automaton:
+  // the Prop. 4.6 product regularized by behavior composition (1-pebble,
+  // when it fits) or the Thm 4.7 MSO route. Shared by Typecheck and
+  // InferInverseType; `*method` (if non-null) reports which route ran.
+  Result<Nbta> BadInputsAutomaton(const Nbta& output_type,
+                                  const TypecheckOptions& options,
+                                  MsoCompileStats* stats,
+                                  std::string* method) const;
+
+  const PebbleTransducer& transducer_;
+  const RankedAlphabet& input_alphabet_;
+  const RankedAlphabet& output_alphabet_;
+};
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_CORE_TYPECHECKER_H_

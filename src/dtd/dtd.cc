@@ -1,0 +1,365 @@
+#include "src/dtd/dtd.h"
+
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace pebbletc {
+
+Result<SymbolId> SpecializedDtd::AddType(std::string_view type_name,
+                                         std::string_view tag,
+                                         RegexPtr content_model) {
+  if (finalized_) {
+    return Status::FailedPrecondition("AddType after Finalize");
+  }
+  if (types_.Find(type_name) != kNoSymbol) {
+    return Status::InvalidArgument("type '" + std::string(type_name) +
+                                   "' declared twice");
+  }
+  SymbolId type = types_.Intern(type_name);
+  SymbolId tag_id = tags_.Intern(tag);
+  PEBBLETC_CHECK(type == type_tag_.size()) << "type id out of sync";
+  type_tag_.push_back(tag_id);
+  content_.push_back(std::move(content_model));
+  if (type_name != tag) plain_ = false;
+  return type;
+}
+
+Status SpecializedDtd::AddRootType(SymbolId type) {
+  if (type >= num_types()) {
+    return Status::InvalidArgument("root type out of range");
+  }
+  root_types_.push_back(type);
+  return Status::OK();
+}
+
+Status SpecializedDtd::Finalize() {
+  if (finalized_) return Status::OK();
+  if (num_types() == 0) {
+    return Status::FailedPrecondition("DTD declares no types");
+  }
+  if (root_types_.empty()) {
+    return Status::FailedPrecondition("DTD has no root type");
+  }
+  // Content models range over the *type* alphabet. A regex mentioning a
+  // symbol id ≥ num_types would have failed at parse time; defensive checks
+  // happen inside CompileRegexToDfa's NFA construction.
+  content_dfa_.clear();
+  content_dfa_.reserve(num_types());
+  for (SymbolId p = 0; p < num_types(); ++p) {
+    if (content_[p] == nullptr) {
+      return Status::FailedPrecondition("type '" + types_.Name(p) +
+                                        "' has no content model");
+    }
+    content_dfa_.push_back(std::make_unique<Dfa>(CompileRegexToDfa(
+        content_[p], static_cast<uint32_t>(num_types()))));
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+// possible[n] = set of types assignable to node n (bottom-up DP). Exploits
+// the invariant that children have smaller NodeIds than parents.
+Result<std::vector<std::vector<bool>>> PossibleTypes(
+    const SpecializedDtd& dtd, const UnrankedTree& tree,
+    const std::vector<std::vector<SymbolId>>& types_by_tag,
+    const std::vector<const Dfa*>& dfas) {
+  std::vector<std::vector<bool>> possible(
+      tree.size(), std::vector<bool>(dtd.num_types(), false));
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    SymbolId tag = tree.tag(n);
+    if (tag >= dtd.tags().size()) {
+      return Status::InvalidArgument("node " + std::to_string(n) +
+                                     " has a tag outside the DTD alphabet");
+    }
+    for (SymbolId p : types_by_tag[tag]) {
+      const Dfa& dfa = *dfas[p];
+      // Subset simulation of the content DFA over the children, where each
+      // child contributes its possible types as alternative letters.
+      std::vector<bool> current(dfa.num_states(), false);
+      current[dfa.start()] = true;
+      bool dead = false;
+      for (NodeId child : tree.children(n)) {
+        std::vector<bool> next(dfa.num_states(), false);
+        bool any = false;
+        for (StateId s = 0; s < dfa.num_states(); ++s) {
+          if (!current[s]) continue;
+          for (SymbolId q = 0; q < dtd.num_types(); ++q) {
+            if (possible[child][q]) {
+              next[dfa.Next(s, q)] = true;
+              any = true;
+            }
+          }
+        }
+        if (!any) {
+          dead = true;
+          break;
+        }
+        current = std::move(next);
+      }
+      if (dead) continue;
+      for (StateId s = 0; s < dfa.num_states(); ++s) {
+        if (current[s] && dfa.accepting(s)) {
+          possible[n][p] = true;
+          break;
+        }
+      }
+    }
+  }
+  return possible;
+}
+
+}  // namespace
+
+Result<bool> SpecializedDtd::Accepts(const UnrankedTree& tree) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("DTD not finalized");
+  }
+  if (tree.empty()) return false;
+  std::vector<std::vector<SymbolId>> types_by_tag(tags_.size());
+  for (SymbolId p = 0; p < num_types(); ++p) {
+    types_by_tag[type_tag_[p]].push_back(p);
+  }
+  std::vector<const Dfa*> dfas;
+  for (const auto& d : content_dfa_) dfas.push_back(d.get());
+  PEBBLETC_ASSIGN_OR_RETURN(auto possible,
+                            PossibleTypes(*this, tree, types_by_tag, dfas));
+  for (SymbolId r : root_types_) {
+    if (possible[tree.root()][r]) return true;
+  }
+  return false;
+}
+
+Status SpecializedDtd::Validate(const UnrankedTree& tree) const {
+  if (!finalized_) return Status::FailedPrecondition("DTD not finalized");
+  if (tree.empty()) return Status::InvalidArgument("empty document");
+  std::vector<std::vector<SymbolId>> types_by_tag(tags_.size());
+  for (SymbolId p = 0; p < num_types(); ++p) {
+    types_by_tag[type_tag_[p]].push_back(p);
+  }
+  std::vector<const Dfa*> dfas;
+  for (const auto& d : content_dfa_) dfas.push_back(d.get());
+  auto possible_or = PossibleTypes(*this, tree, types_by_tag, dfas);
+  if (!possible_or.ok()) return possible_or.status();
+  const auto& possible = *possible_or;
+  for (SymbolId r : root_types_) {
+    if (possible[tree.root()][r]) return Status::OK();
+  }
+  // Diagnose: find the lowest node with no assignable type.
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    bool any = false;
+    for (SymbolId p = 0; p < num_types(); ++p) any = any || possible[n][p];
+    if (!any) {
+      SymbolId tag = tree.tag(n);
+      if (types_by_tag[tag].empty()) {
+        return Status::InvalidArgument("element '" + tags_.Name(tag) +
+                                       "' (node " + std::to_string(n) +
+                                       ") is not declared in the DTD");
+      }
+      return Status::InvalidArgument(
+          "content of element '" + tags_.Name(tag) + "' (node " +
+          std::to_string(n) + ") violates its content model");
+    }
+  }
+  return Status::InvalidArgument(
+      "document root does not match the DTD root type");
+}
+
+namespace {
+
+struct Declaration {
+  std::string type_name;
+  std::string tag;
+  std::string rhs;
+};
+
+Result<std::vector<Declaration>> ParseDeclarations(std::string_view text,
+                                                   bool allow_specialized) {
+  std::vector<Declaration> decls;
+  for (const std::string& raw : SplitAndTrim(text, '\n')) {
+    std::string_view line = raw;
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = TrimWhitespace(line.substr(0, hash));
+      if (line.empty()) continue;
+    }
+    auto sep = line.find(":=");
+    if (sep == std::string_view::npos) {
+      return Status::ParseError("missing ':=' in '" + std::string(line) + "'");
+    }
+    std::string_view lhs = TrimWhitespace(line.substr(0, sep));
+    std::string_view rhs = TrimWhitespace(line.substr(sep + 2));
+    if (lhs.empty() || rhs.empty()) {
+      return Status::ParseError("empty side in '" + std::string(line) + "'");
+    }
+    Declaration d;
+    if (auto bracket = lhs.find('['); bracket != std::string_view::npos) {
+      if (!allow_specialized) {
+        return Status::ParseError(
+            "specialized declaration in a plain DTD: '" + std::string(lhs) +
+            "'");
+      }
+      if (lhs.back() != ']') {
+        return Status::ParseError("malformed type[tag] in '" +
+                                  std::string(lhs) + "'");
+      }
+      d.type_name = std::string(TrimWhitespace(lhs.substr(0, bracket)));
+      d.tag = std::string(TrimWhitespace(
+          lhs.substr(bracket + 1, lhs.size() - bracket - 2)));
+      if (d.type_name.empty() || d.tag.empty()) {
+        return Status::ParseError("malformed type[tag] in '" +
+                                  std::string(lhs) + "'");
+      }
+    } else {
+      d.type_name = std::string(lhs);
+      d.tag = std::string(lhs);
+    }
+    d.rhs = std::string(rhs);
+    decls.push_back(std::move(d));
+  }
+  if (decls.empty()) {
+    return Status::ParseError("DTD declares no elements");
+  }
+  return decls;
+}
+
+Result<SpecializedDtd> ParseDtdImpl(std::string_view text,
+                                    bool allow_specialized) {
+  PEBBLETC_ASSIGN_OR_RETURN(std::vector<Declaration> decls,
+                            ParseDeclarations(text, allow_specialized));
+  // Pass 1: declare every type so content models can reference any of them.
+  Alphabet type_names;
+  for (const Declaration& d : decls) {
+    if (type_names.Find(d.type_name) != kNoSymbol) {
+      return Status::ParseError("type '" + d.type_name + "' declared twice");
+    }
+    type_names.Intern(d.type_name);
+  }
+  // Pass 2: parse content models against the closed type alphabet.
+  SpecializedDtd dtd;
+  for (const Declaration& d : decls) {
+    auto regex = ParseRegexClosed(d.rhs, type_names);
+    if (!regex.ok()) {
+      return regex.status().WithContext("content model of '" + d.type_name +
+                                        "'");
+    }
+    auto added = dtd.AddType(d.type_name, d.tag, *regex);
+    if (!added.ok()) return added.status();
+  }
+  PEBBLETC_RETURN_IF_ERROR(dtd.AddRootType(0));  // first declaration is root
+  PEBBLETC_RETURN_IF_ERROR(dtd.Finalize());
+  return dtd;
+}
+
+}  // namespace
+
+Result<SpecializedDtd> ParseDtd(std::string_view text) {
+  return ParseDtdImpl(text, /*allow_specialized=*/false);
+}
+
+Result<SpecializedDtd> ParseSpecializedDtd(std::string_view text) {
+  return ParseDtdImpl(text, /*allow_specialized=*/true);
+}
+
+Result<Nbta> CompileDtdToNbta(const SpecializedDtd& dtd,
+                              const EncodedAlphabet& enc) {
+  if (!dtd.finalized_) {
+    return Status::FailedPrecondition("DTD not finalized");
+  }
+  if (enc.tag_symbol.size() != dtd.tags().size()) {
+    return Status::InvalidArgument(
+        "encoded alphabet does not match the DTD tag alphabet");
+  }
+  const size_t num_types = dtd.num_types();
+
+  Nbta out;
+  out.num_symbols = static_cast<uint32_t>(enc.ranked.size());
+
+  // State layout: nil, tree[p] for each type, then per-type forest blocks
+  // forest[p][s] for each content-DFA state s.
+  StateId nil_state = out.AddState();
+  std::vector<StateId> tree_state(num_types);
+  for (size_t p = 0; p < num_types; ++p) tree_state[p] = out.AddState();
+  std::vector<StateId> forest_base(num_types);
+  for (size_t p = 0; p < num_types; ++p) {
+    const Dfa& d = *dtd.content_dfa_[p];
+    forest_base[p] = out.num_states;
+    for (StateId s = 0; s < d.num_states(); ++s) out.AddState();
+  }
+  auto forest_state = [&](size_t p, StateId s) {
+    return forest_base[p] + s;
+  };
+
+  out.AddLeafRule(enc.nil, nil_state);
+
+  // Coercion targets: a finished tree of type q may serve as (i) the tree
+  // state tree[q], or (ii) the tail of any forest, i.e. forest[p][s] whenever
+  // δ_p(s, q) is accepting.
+  std::vector<std::vector<StateId>> targets(num_types);
+  for (size_t q = 0; q < num_types; ++q) {
+    targets[q].push_back(tree_state[q]);
+    for (size_t p = 0; p < num_types; ++p) {
+      const Dfa& d = *dtd.content_dfa_[p];
+      for (StateId s = 0; s < d.num_states(); ++s) {
+        if (d.accepting(d.Next(s, static_cast<SymbolId>(q)))) {
+          targets[q].push_back(forest_state(p, s));
+        }
+      }
+    }
+  }
+
+  // Tag-node rules.
+  for (size_t p = 0; p < num_types; ++p) {
+    const Dfa& d = *dtd.content_dfa_[p];
+    const SymbolId ranked_tag = enc.tag_symbol[dtd.TagOfType(p)];
+    for (StateId target : targets[p]) {
+      if (d.accepting(d.start())) {
+        out.AddRule(ranked_tag, nil_state, nil_state, target);  // a(|, |)
+      }
+      out.AddRule(ranked_tag, forest_state(p, d.start()), nil_state, target);
+    }
+  }
+
+  // Cons rules: -(tree[q], forest[p][δ_p(s,q)]) → forest[p][s].
+  for (size_t p = 0; p < num_types; ++p) {
+    const Dfa& d = *dtd.content_dfa_[p];
+    for (StateId s = 0; s < d.num_states(); ++s) {
+      for (size_t q = 0; q < num_types; ++q) {
+        out.AddRule(enc.cons, tree_state[q],
+                    forest_state(p, d.Next(s, static_cast<SymbolId>(q))),
+                    forest_state(p, s));
+      }
+    }
+  }
+
+  for (SymbolId r : dtd.root_types()) {
+    out.accepting[tree_state[r]] = true;
+  }
+  return out;
+}
+
+Result<Nbta> CompileDtdOver(const SpecializedDtd& dtd,
+                            const EncodedAlphabet& target) {
+  PEBBLETC_ASSIGN_OR_RETURN(EncodedAlphabet own,
+                            MakeEncodedAlphabet(dtd.tags()));
+  PEBBLETC_ASSIGN_OR_RETURN(Nbta raw, CompileDtdToNbta(dtd, own));
+  std::vector<SymbolId> map(own.ranked.size());
+  for (SymbolId s = 0; s < own.ranked.size(); ++s) {
+    map[s] = target.ranked.Find(own.ranked.Name(s));
+    if (map[s] == kNoSymbol) {
+      return Status::InvalidArgument("DTD symbol '" + own.ranked.Name(s) +
+                                     "' is missing from the target alphabet");
+    }
+    if (target.ranked.Rank(map[s]) != own.ranked.Rank(s)) {
+      return Status::InvalidArgument("DTD symbol '" + own.ranked.Name(s) +
+                                     "' has a different rank in the target");
+    }
+  }
+  return RelabelNbta(raw, map,
+                     static_cast<uint32_t>(target.ranked.size()));
+}
+
+}  // namespace pebbletc

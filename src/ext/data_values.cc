@@ -1,0 +1,86 @@
+#include "src/ext/data_values.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+Result<ExpandedDataAlphabet> ExpandDataAlphabet(const RankedAlphabet& base,
+                                                SymbolId data_symbol,
+                                                uint32_t num_predicates) {
+  if (data_symbol >= base.size() || base.Rank(data_symbol) != 0) {
+    return Status::InvalidArgument("data symbol must be a leaf symbol");
+  }
+  if (num_predicates > 16) {
+    return Status::InvalidArgument("too many predicates (limit 16)");
+  }
+  ExpandedDataAlphabet out;
+  out.base_data_symbol = data_symbol;
+  out.num_predicates = num_predicates;
+  // Copy every base symbol under its own id (the plain `d` stays but is
+  // never used by expanded trees), then append the d#bits variants.
+  for (SymbolId s = 0; s < base.size(); ++s) {
+    Result<SymbolId> id = base.Rank(s) == 0
+                              ? out.ranked.AddLeaf(base.Name(s))
+                              : out.ranked.AddBinary(base.Name(s));
+    PEBBLETC_CHECK(id.ok()) << id.status().ToString();
+    PEBBLETC_CHECK(*id == s) << "expanded ids out of sync";
+    out.to_base.push_back(s);
+  }
+  const uint32_t combos = 1u << num_predicates;
+  out.data_variant.resize(combos);
+  for (uint32_t bits = 0; bits < combos; ++bits) {
+    std::string name = base.Name(data_symbol) + "#";
+    for (uint32_t i = 0; i < num_predicates; ++i) {
+      name += ((bits >> i) & 1u) ? '1' : '0';
+    }
+    PEBBLETC_ASSIGN_OR_RETURN(SymbolId id, out.ranked.AddLeaf(name));
+    out.data_variant[bits] = id;
+    out.to_base.push_back(data_symbol);
+  }
+  return out;
+}
+
+Result<BinaryTree> AbstractDataTree(const DataTree& input,
+                                    const ExpandedDataAlphabet& expanded,
+                                    const std::vector<UnaryPredicate>& preds) {
+  if (preds.size() != expanded.num_predicates) {
+    return Status::InvalidArgument("predicate count mismatch");
+  }
+  const BinaryTree& t = input.tree;
+  BinaryTree out;
+  // Node ids are preserved (children precede parents in both trees).
+  for (NodeId n = 0; n < t.size(); ++n) {
+    if (t.IsLeaf(n)) {
+      SymbolId sym = t.symbol(n);
+      if (sym == expanded.base_data_symbol) {
+        if (n >= input.values.size()) {
+          return Status::InvalidArgument("data leaf without a value");
+        }
+        uint32_t bits = 0;
+        for (uint32_t i = 0; i < preds.size(); ++i) {
+          if (preds[i](input.values[n])) bits |= (1u << i);
+        }
+        NodeId id = out.AddLeaf(expanded.data_variant[bits]);
+        PEBBLETC_CHECK(id == n) << "node ids out of sync";
+      } else {
+        NodeId id = out.AddLeaf(sym);
+        PEBBLETC_CHECK(id == n) << "node ids out of sync";
+      }
+    } else {
+      NodeId id = out.AddInternal(t.symbol(n), t.left(n), t.right(n));
+      PEBBLETC_CHECK(id == n) << "node ids out of sync";
+    }
+  }
+  out.SetRoot(t.root());
+  return out;
+}
+
+Nbta LiftTypeToExpanded(const Nbta& base_type,
+                        const ExpandedDataAlphabet& expanded) {
+  return InverseRelabelNbta(base_type, expanded.to_base,
+                            static_cast<uint32_t>(expanded.ranked.size()));
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,72 @@
+// Section 5, "Data Values": trees whose leaves carry values from an infinite
+// domain D, transducers that test *unary* predicates on those values, and
+// the finite-alphabet reduction that makes typechecking go through: with m
+// unary predicates, replace D by 2^m constants — one per predicate truth
+// vector (the technique of [1], Abiteboul–Vianu).
+//
+// Concretely: a designated data-leaf symbol `d` of the base alphabet is
+// split into 2^m leaf symbols d#bits. Extended transducers are ordinary
+// PebbleTransducers over the *expanded* alphabet (a predicate test is just a
+// symbol guard on the split symbols), so the entire typechecking stack
+// applies unchanged. Concrete data trees are evaluated by abstracting each
+// value to its truth vector first.
+
+#ifndef PEBBLETC_EXT_DATA_VALUES_H_
+#define PEBBLETC_EXT_DATA_VALUES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/ta/nbta.h"
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+/// A binary tree whose `data_symbol`-labelled leaves carry values from an
+/// infinite domain (strings here).
+struct DataTree {
+  BinaryTree tree;
+  /// Indexed by NodeId; meaningful only on data leaves.
+  std::vector<std::string> values;
+};
+
+/// A finite set of unary predicates over the data domain.
+using UnaryPredicate = std::function<bool(const std::string&)>;
+
+/// The expanded alphabet: `base` with leaf `data_symbol` split into 2^m
+/// variants named d#bits (bit i = predicate i holds).
+struct ExpandedDataAlphabet {
+  RankedAlphabet ranked;
+  /// Map: expanded symbol id → base symbol id (all d#bits map to d).
+  std::vector<SymbolId> to_base;
+  /// Expanded id of d#bits.
+  std::vector<SymbolId> data_variant;  // indexed by bits
+  SymbolId base_data_symbol = kNoSymbol;
+  uint32_t num_predicates = 0;
+};
+
+/// Splits `data_symbol` (a leaf of `base`) into 2^num_predicates variants.
+Result<ExpandedDataAlphabet> ExpandDataAlphabet(const RankedAlphabet& base,
+                                                SymbolId data_symbol,
+                                                uint32_t num_predicates);
+
+/// Abstracts a concrete data tree over the base alphabet into a plain tree
+/// over the expanded alphabet by evaluating the predicates on every data
+/// leaf.
+Result<BinaryTree> AbstractDataTree(const DataTree& input,
+                                    const ExpandedDataAlphabet& expanded,
+                                    const std::vector<UnaryPredicate>& preds);
+
+/// Lifts a type over the base alphabet (data values opaque, i.e. `d` is one
+/// symbol) to the expanded alphabet: a tree conforms iff its base projection
+/// does. This is how input/output types enter the reduced typechecking
+/// problem.
+Nbta LiftTypeToExpanded(const Nbta& base_type,
+                        const ExpandedDataAlphabet& expanded);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_EXT_DATA_VALUES_H_

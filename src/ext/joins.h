@@ -1,0 +1,63 @@
+// Section 5, data-value joins: transducers extended with the comparison
+// predicate x = y between the data values under two pebbles. Typechecking is
+// undecidable in general for such machines (reduction from finite
+// satisfiability of FO), but for queries whose equality tests are
+// *independent* — every truth assignment to the tests is consistent — the
+// tests can be replaced by nondeterministic guesses: every run of the
+// concrete machine is a run of the abstraction, so typechecking the
+// abstraction is sound (and for independent queries, complete).
+//
+// JoinTransducer wraps a PebbleTransducer with equality-test transitions;
+// `AbstractJoins` produces the nondeterministic guess machine the paper
+// describes, and `EvalJoinConcrete` runs the concrete semantics on a data
+// tree for cross-validation.
+
+#ifndef PEBBLETC_EXT_JOINS_H_
+#define PEBBLETC_EXT_JOINS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ext/data_values.h"
+#include "src/pt/transducer.h"
+
+namespace pebbletc {
+
+/// An equality test: in state `from` (level ≥ 2), compare the data values
+/// under pebbles `pebble_a` and `pebble_b` (1-based); continue in `if_equal`
+/// or `if_distinct` (same level as `from`). Both referenced nodes must be
+/// data leaves; the test is inapplicable otherwise.
+struct EqualityTest {
+  PebbleGuard guard;
+  StateId from;
+  uint32_t pebble_a;
+  uint32_t pebble_b;
+  StateId if_equal;
+  StateId if_distinct;
+};
+
+/// A k-pebble transducer with data-value joins.
+struct JoinTransducer {
+  PebbleTransducer base;
+  std::vector<EqualityTest> tests;
+  /// The data-leaf symbol of the input alphabet.
+  SymbolId data_symbol = kNoSymbol;
+};
+
+/// The nondeterministic abstraction: each equality test becomes a free
+/// choice between its two continuations (two stay-moves). Sound for
+/// typechecking: T_concrete(t) ⊆ T_abstract(strip_values(t)) for every data
+/// tree t.
+PebbleTransducer AbstractJoins(const JoinTransducer& jt);
+
+/// Concrete deterministic evaluation on a data tree (values drive the
+/// equality tests; the base transducer must otherwise be deterministic).
+/// Output values: none are produced (the fragment modelled here outputs
+/// plain symbols; value copying is orthogonal and untyped).
+Result<BinaryTree> EvalJoinConcrete(const JoinTransducer& jt,
+                                    const DataTree& input,
+                                    size_t max_steps = 10'000'000);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_EXT_JOINS_H_

@@ -1,0 +1,58 @@
+#include "src/graph/agap.h"
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+AgapNodeId AlternatingGraph::AddNode(NodeType type) {
+  AgapNodeId id = static_cast<AgapNodeId>(types_.size());
+  types_.push_back(type);
+  successors_.emplace_back();
+  return id;
+}
+
+void AlternatingGraph::AddEdge(AgapNodeId from, AgapNodeId to) {
+  PEBBLETC_CHECK(from < types_.size() && to < types_.size()) << "bad node";
+  successors_[from].push_back(to);
+  ++num_edges_;
+}
+
+std::vector<bool> AlternatingGraph::ComputeAccessible() const {
+  const size_t n = types_.size();
+  // Backward propagation: reverse edges, per-and-node countdown of
+  // not-yet-accessible successors.
+  std::vector<std::vector<AgapNodeId>> predecessors(n);
+  std::vector<size_t> pending(n, 0);
+  for (AgapNodeId v = 0; v < n; ++v) {
+    pending[v] = successors_[v].size();
+    for (AgapNodeId s : successors_[v]) predecessors[s].push_back(v);
+  }
+  std::vector<bool> accessible(n, false);
+  std::vector<AgapNodeId> work;
+  for (AgapNodeId v = 0; v < n; ++v) {
+    if (types_[v] == NodeType::kAnd && successors_[v].empty()) {
+      accessible[v] = true;
+      work.push_back(v);
+    }
+  }
+  while (!work.empty()) {
+    AgapNodeId v = work.back();
+    work.pop_back();
+    for (AgapNodeId p : predecessors[v]) {
+      if (accessible[p]) continue;
+      if (types_[p] == NodeType::kOr) {
+        accessible[p] = true;
+        work.push_back(p);
+      } else {
+        PEBBLETC_DCHECK(pending[p] > 0) << "counter underflow";
+        if (--pending[p] == 0) {
+          accessible[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+  return accessible;
+}
+
+}  // namespace pebbletc

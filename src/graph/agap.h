@@ -1,0 +1,55 @@
+// Alternating Graph Accessibility (AGAP), the P-complete problem the paper
+// reduces k-pebble automaton acceptance to (proof of Theorem 4.7).
+//
+// An alternating graph partitions its nodes into and-nodes and or-nodes.
+// Accessibility is the least fixpoint of:
+//   * an or-node is accessible iff at least one successor is accessible;
+//   * an and-node is accessible iff all successors are accessible
+//     (so an and-node with no successors is accessible — this plays the role
+//     of the paper's ε node).
+// The solver runs in time linear in |V| + |E|.
+
+#ifndef PEBBLETC_GRAPH_AGAP_H_
+#define PEBBLETC_GRAPH_AGAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pebbletc {
+
+/// Node index within an alternating graph.
+using AgapNodeId = uint32_t;
+
+class AlternatingGraph {
+ public:
+  enum class NodeType { kAnd, kOr };
+
+  /// Appends a node and returns its index.
+  AgapNodeId AddNode(NodeType type);
+
+  /// Adds the directed edge from → to. Both nodes must exist.
+  void AddEdge(AgapNodeId from, AgapNodeId to);
+
+  size_t num_nodes() const { return types_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  NodeType type(AgapNodeId n) const { return types_[n]; }
+  const std::vector<AgapNodeId>& successors(AgapNodeId n) const {
+    return successors_[n];
+  }
+
+  /// Computes the accessible-node set (least fixpoint), linear time.
+  std::vector<bool> ComputeAccessible() const;
+
+  /// Convenience: accessibility of a single node.
+  bool IsAccessible(AgapNodeId n) const { return ComputeAccessible()[n]; }
+
+ private:
+  std::vector<NodeType> types_;
+  std::vector<std::vector<AgapNodeId>> successors_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_GRAPH_AGAP_H_

@@ -1,0 +1,115 @@
+#include "src/mso/eval.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+namespace {
+
+using K = MsoFormula::Kind;
+
+// Assignment: FO variables map to a node id, SO variables to a bitmask of
+// node ids. Both stored as uint64_t slots indexed by variable id.
+struct Env {
+  std::vector<uint64_t> slot;
+  std::vector<bool> assigned;
+};
+
+bool Eval(const MsoPtr& f, const BinaryTree& tree, Env& env) {
+  switch (f->kind()) {
+    case K::kTrue:
+      return true;
+    case K::kFalse:
+      return false;
+    case K::kLabel:
+      return tree.symbol(static_cast<NodeId>(env.slot[f->var1()])) ==
+             f->symbol();
+    case K::kSucc1: {
+      NodeId x = static_cast<NodeId>(env.slot[f->var1()]);
+      NodeId y = static_cast<NodeId>(env.slot[f->var2()]);
+      return !tree.IsLeaf(x) && tree.left(x) == y;
+    }
+    case K::kSucc2: {
+      NodeId x = static_cast<NodeId>(env.slot[f->var1()]);
+      NodeId y = static_cast<NodeId>(env.slot[f->var2()]);
+      return !tree.IsLeaf(x) && tree.right(x) == y;
+    }
+    case K::kEq:
+      return env.slot[f->var1()] == env.slot[f->var2()];
+    case K::kIn: {
+      NodeId x = static_cast<NodeId>(env.slot[f->var1()]);
+      return (env.slot[f->var2()] >> x) & 1u;
+    }
+    case K::kRoot:
+      return static_cast<NodeId>(env.slot[f->var1()]) == tree.root();
+    case K::kLeaf:
+      return tree.IsLeaf(static_cast<NodeId>(env.slot[f->var1()]));
+    case K::kNot:
+      return !Eval(f->left(), tree, env);
+    case K::kAnd:
+      return Eval(f->left(), tree, env) && Eval(f->right(), tree, env);
+    case K::kOr:
+      return Eval(f->left(), tree, env) || Eval(f->right(), tree, env);
+    case K::kExistsFo: {
+      const MsoVarId v = f->var1();
+      const uint64_t saved = env.slot[v];
+      const bool was = env.assigned[v];
+      for (NodeId n = 0; n < tree.size(); ++n) {
+        env.slot[v] = n;
+        env.assigned[v] = true;
+        if (Eval(f->left(), tree, env)) {
+          env.slot[v] = saved;
+          env.assigned[v] = was;
+          return true;
+        }
+      }
+      env.slot[v] = saved;
+      env.assigned[v] = was;
+      return false;
+    }
+    case K::kExistsSo: {
+      const MsoVarId v = f->var1();
+      const uint64_t saved = env.slot[v];
+      const bool was = env.assigned[v];
+      const uint64_t limit = uint64_t{1} << tree.size();
+      for (uint64_t mask = 0; mask < limit; ++mask) {
+        env.slot[v] = mask;
+        env.assigned[v] = true;
+        if (Eval(f->left(), tree, env)) {
+          env.slot[v] = saved;
+          env.assigned[v] = was;
+          return true;
+        }
+      }
+      env.slot[v] = saved;
+      env.assigned[v] = was;
+      return false;
+    }
+  }
+  PEBBLETC_CHECK(false) << "unknown MSO node kind";
+  return false;
+}
+
+}  // namespace
+
+Result<bool> EvalMsoBruteForce(const MsoPtr& sentence,
+                               const BinaryTree& tree) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  if (tree.size() > 63) {
+    return Status::InvalidArgument("brute-force MSO limited to 63 nodes");
+  }
+  PEBBLETC_ASSIGN_OR_RETURN(MsoAnalysis analysis, AnalyzeMso(sentence));
+  for (MsoVarId v = 0; v < analysis.variables.size(); ++v) {
+    if (analysis.variables[v].used && !analysis.variables[v].quantified) {
+      return Status::InvalidArgument("formula is not a sentence");
+    }
+  }
+  Env env;
+  env.slot.assign(analysis.variables.size(), 0);
+  env.assigned.assign(analysis.variables.size(), false);
+  return Eval(sentence, tree, env);
+}
+
+}  // namespace pebbletc

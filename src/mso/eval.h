@@ -1,0 +1,19 @@
+// Brute-force MSO model checking on small trees, used to cross-validate the
+// automaton compiler. Exponential (set quantifiers enumerate all 2^n node
+// subsets) — keep trees small.
+
+#ifndef PEBBLETC_MSO_EVAL_H_
+#define PEBBLETC_MSO_EVAL_H_
+
+#include "src/common/result.h"
+#include "src/mso/formula.h"
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+/// Evaluates a sentence on `tree` (at most 63 nodes) by direct recursion.
+Result<bool> EvalMsoBruteForce(const MsoPtr& sentence, const BinaryTree& tree);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_MSO_EVAL_H_

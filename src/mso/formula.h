@@ -1,0 +1,141 @@
+// Monadic Second-Order logic over binary trees (the logic used in the proof
+// of Theorem 4.7).
+//
+// Trees are the first-order structures (D, succ1, succ2, (R_a)_{a∈Σ}) of the
+// paper. Formulas have first-order variables (positions) and second-order
+// variables (position sets), with atoms
+//   Label_a(x)   Succ1(x,y)   Succ2(x,y)   x = y   x ∈ X   Root(x)   Leaf(x)
+// and connectives ¬ ∧ ∨ → ↔ and quantifiers ∃x ∀x ∃X ∀X.
+//
+// Variables are integer-indexed; a formula must use each variable index with
+// a consistent kind and quantify it at most once (no shadowing) — checked by
+// AnalyzeMso. The compiler (src/mso/compile.h) turns sentences into tree
+// automata; the evaluator (src/mso/eval.h) brute-forces small instances for
+// cross-validation.
+
+#ifndef PEBBLETC_MSO_FORMULA_H_
+#define PEBBLETC_MSO_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+
+namespace pebbletc {
+
+/// Index of an MSO variable (first- or second-order).
+using MsoVarId = uint32_t;
+
+class MsoFormula;
+using MsoPtr = std::shared_ptr<const MsoFormula>;
+
+class MsoFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kLabel,   ///< Label_a(x):  symbol_ = a, var1_ = x
+    kSucc1,   ///< Succ1(x,y):  var1_ = x, var2_ = y (y is x's left child)
+    kSucc2,   ///< Succ2(x,y)
+    kEq,      ///< x = y
+    kIn,      ///< x ∈ X:      var1_ = x (FO), var2_ = X (SO)
+    kRoot,    ///< Root(x)
+    kLeaf,    ///< Leaf(x)
+    kNot,
+    kAnd,
+    kOr,
+    kExistsFo,  ///< ∃ position var1_ . left()
+    kExistsSo,  ///< ∃ set var1_ . left()
+  };
+
+  Kind kind() const { return kind_; }
+  SymbolId symbol() const { return symbol_; }
+  MsoVarId var1() const { return var1_; }
+  MsoVarId var2() const { return var2_; }
+  const MsoPtr& left() const { return left_; }
+  const MsoPtr& right() const { return right_; }
+
+  // --- constants and atoms ---
+  static MsoPtr True();
+  static MsoPtr False();
+  static MsoPtr Label(SymbolId a, MsoVarId x);
+  static MsoPtr Succ1(MsoVarId x, MsoVarId y);
+  static MsoPtr Succ2(MsoVarId x, MsoVarId y);
+  static MsoPtr Eq(MsoVarId x, MsoVarId y);
+  static MsoPtr In(MsoVarId x, MsoVarId set);
+  static MsoPtr Root(MsoVarId x);
+  static MsoPtr Leaf(MsoVarId x);
+
+  // --- connectives ---
+  static MsoPtr Not(MsoPtr f);
+  static MsoPtr And(MsoPtr a, MsoPtr b);
+  static MsoPtr Or(MsoPtr a, MsoPtr b);
+  static MsoPtr Implies(MsoPtr a, MsoPtr b) {
+    return Or(Not(std::move(a)), std::move(b));
+  }
+  static MsoPtr Iff(MsoPtr a, MsoPtr b);
+  /// Conjunction/disjunction of a list (True/False for empty lists).
+  static MsoPtr AndAll(std::vector<MsoPtr> fs);
+  static MsoPtr OrAll(std::vector<MsoPtr> fs);
+
+  // --- quantifiers ---
+  static MsoPtr ExistsFo(MsoVarId x, MsoPtr body);
+  static MsoPtr ForallFo(MsoVarId x, MsoPtr body) {
+    return Not(ExistsFo(x, Not(std::move(body))));
+  }
+  static MsoPtr ExistsSo(MsoVarId set, MsoPtr body);
+  static MsoPtr ForallSo(MsoVarId set, MsoPtr body) {
+    return Not(ExistsSo(set, Not(std::move(body))));
+  }
+
+ private:
+  MsoFormula(Kind kind, SymbolId symbol, MsoVarId v1, MsoVarId v2, MsoPtr l,
+             MsoPtr r)
+      : kind_(kind), symbol_(symbol), var1_(v1), var2_(v2),
+        left_(std::move(l)), right_(std::move(r)) {}
+
+  static MsoPtr Make(Kind kind, SymbolId symbol, MsoVarId v1, MsoVarId v2,
+                     MsoPtr l, MsoPtr r);
+
+  Kind kind_;
+  SymbolId symbol_;
+  MsoVarId var1_;
+  MsoVarId var2_;
+  MsoPtr left_;
+  MsoPtr right_;
+};
+
+/// Per-variable facts gathered by AnalyzeMso.
+struct MsoVariableInfo {
+  bool used = false;
+  bool is_set = false;   ///< second-order?
+  bool quantified = false;
+};
+
+/// Static analysis results for a formula.
+struct MsoAnalysis {
+  /// Indexed by variable id; size = max id + 1 (0 if no variables).
+  std::vector<MsoVariableInfo> variables;
+  /// Number of AST nodes.
+  size_t num_nodes = 0;
+  /// Quantifier nesting depth.
+  size_t quantifier_depth = 0;
+};
+
+/// Checks well-formedness: every variable is used with one consistent kind
+/// and quantified at most once; quantified variables do not appear outside
+/// their binder's scope... (variables are globally unique per binder). Fails
+/// with kInvalidArgument otherwise.
+Result<MsoAnalysis> AnalyzeMso(const MsoPtr& formula);
+
+/// Pretty-prints a formula (for diagnostics and tests). Symbol names come
+/// from `alphabet` when provided.
+std::string MsoString(const MsoPtr& formula,
+                      const RankedAlphabet* alphabet = nullptr);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_MSO_FORMULA_H_

@@ -1,0 +1,294 @@
+#include "src/pa/automaton.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/graph/agap.h"
+
+namespace pebbletc {
+
+PebbleAutomaton::PebbleAutomaton(uint32_t max_pebbles, uint32_t num_symbols)
+    : max_pebbles_(max_pebbles), num_symbols_(num_symbols) {
+  PEBBLETC_CHECK(max_pebbles >= 1) << "need at least one pebble";
+  PEBBLETC_CHECK(max_pebbles <= 30) << "pebble guard bits limited to 30";
+}
+
+StateId PebbleAutomaton::AddState(uint32_t level) {
+  PEBBLETC_CHECK(level >= 1 && level <= max_pebbles_)
+      << "state level " << level << " out of range";
+  StateId q = static_cast<StateId>(level_.size());
+  level_.push_back(level);
+  by_state_.emplace_back();
+  return q;
+}
+
+void PebbleAutomaton::SetStart(StateId q) {
+  PEBBLETC_CHECK(q < level_.size()) << "bad start state";
+  start_ = q;
+}
+
+void PebbleAutomaton::AddMove(const PebbleGuard& guard, StateId from,
+                              MoveKind move, StateId to) {
+  PEBBLETC_CHECK(from < level_.size() && to < level_.size()) << "bad state";
+  Transition t;
+  t.kind = TransitionKind::kMove;
+  t.guard = guard;
+  t.from = from;
+  t.move = move;
+  t.to = to;
+  t.left = t.right = 0;
+  by_state_[from].push_back(static_cast<uint32_t>(transitions_.size()));
+  transitions_.push_back(t);
+}
+
+void PebbleAutomaton::AddAccept(const PebbleGuard& guard, StateId from) {
+  PEBBLETC_CHECK(from < level_.size()) << "bad state";
+  Transition t;
+  t.kind = TransitionKind::kAccept;
+  t.guard = guard;
+  t.from = from;
+  t.move = MoveKind::kStay;
+  t.to = t.left = t.right = 0;
+  by_state_[from].push_back(static_cast<uint32_t>(transitions_.size()));
+  transitions_.push_back(t);
+}
+
+void PebbleAutomaton::AddBranch(const PebbleGuard& guard, StateId from,
+                                StateId left, StateId right) {
+  PEBBLETC_CHECK(from < level_.size() && left < level_.size() &&
+                 right < level_.size())
+      << "bad state";
+  Transition t;
+  t.kind = TransitionKind::kBranch;
+  t.guard = guard;
+  t.from = from;
+  t.move = MoveKind::kStay;
+  t.to = 0;
+  t.left = left;
+  t.right = right;
+  by_state_[from].push_back(static_cast<uint32_t>(transitions_.size()));
+  transitions_.push_back(t);
+}
+
+Status PebbleAutomaton::Validate(const RankedAlphabet& alphabet) const {
+  if (alphabet.size() != num_symbols_) {
+    return Status::InvalidArgument("alphabet size mismatch");
+  }
+  if (level_.empty()) return Status::FailedPrecondition("no states");
+  if (level_[start_] != 1) {
+    return Status::InvalidArgument("start state must have level 1");
+  }
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    const std::string where = "transition " + std::to_string(i);
+    if (t.guard.symbol != kAnySymbol && t.guard.symbol >= num_symbols_) {
+      return Status::InvalidArgument(where + ": guard symbol out of range");
+    }
+    const uint32_t lvl = level_[t.from];
+    if (lvl >= 1 && (t.guard.presence_mask >> (lvl - 1)) != 0) {
+      return Status::InvalidArgument(
+          where + ": presence guard mentions pebbles ≥ the state level");
+    }
+    if ((t.guard.presence_value & ~t.guard.presence_mask) != 0) {
+      return Status::InvalidArgument(
+          where + ": presence value has bits outside the mask");
+    }
+    switch (t.kind) {
+      case TransitionKind::kMove: {
+        const uint32_t to_lvl = level_[t.to];
+        if (t.move == MoveKind::kPlacePebble) {
+          if (to_lvl != lvl + 1) {
+            return Status::InvalidArgument(
+                where + ": place-new-pebble must raise the level by one");
+          }
+        } else if (t.move == MoveKind::kPickPebble) {
+          if (lvl < 2 || to_lvl != lvl - 1) {
+            return Status::InvalidArgument(
+                where + ": pick-current-pebble must lower the level by one");
+          }
+        } else if (to_lvl != lvl) {
+          return Status::InvalidArgument(where + ": move must preserve level");
+        }
+        break;
+      }
+      case TransitionKind::kAccept:
+        break;
+      case TransitionKind::kBranch:
+        if (level_[t.left] != lvl || level_[t.right] != lvl) {
+          return Status::InvalidArgument(
+              where + ": branch states must stay at the same level");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+PebbleAutomaton::Config PebbleAutomaton::InitialConfig(
+    const BinaryTree& tree) const {
+  PEBBLETC_CHECK(!tree.empty()) << "empty tree";
+  return Config{start_, {tree.root()}};
+}
+
+bool PebbleAutomaton::Applies(const Transition& t, const BinaryTree& tree,
+                              const Config& config) const {
+  if (t.from != config.state) return false;
+  const NodeId current = config.pebbles.back();
+  if (t.guard.symbol != kAnySymbol && tree.symbol(current) != t.guard.symbol) {
+    return false;
+  }
+  if (t.guard.presence_mask != 0) {
+    uint32_t presence = 0;
+    for (size_t j = 0; j + 1 < config.pebbles.size(); ++j) {
+      if (config.pebbles[j] == current) presence |= (1u << j);
+    }
+    if ((presence & t.guard.presence_mask) != t.guard.presence_value) {
+      return false;
+    }
+  }
+  if (t.kind != TransitionKind::kMove) return true;
+  switch (t.move) {
+    case MoveKind::kStay:
+      return true;
+    case MoveKind::kDownLeft:
+    case MoveKind::kDownRight:
+      return !tree.IsLeaf(current);
+    case MoveKind::kUpLeft:
+      return !tree.IsRoot(current) && tree.IsLeftChild(current);
+    case MoveKind::kUpRight:
+      return !tree.IsRoot(current) && !tree.IsLeftChild(current);
+    case MoveKind::kPlacePebble:
+      return config.pebbles.size() < max_pebbles_;
+    case MoveKind::kPickPebble:
+      return config.pebbles.size() > 1;
+  }
+  return false;
+}
+
+PebbleAutomaton::Config PebbleAutomaton::ApplyMove(const Transition& t,
+                                                   const BinaryTree& tree,
+                                                   const Config& config) const {
+  PEBBLETC_DCHECK(t.kind == TransitionKind::kMove) << "not a move";
+  Config next = config;
+  next.state = t.to;
+  NodeId& current = next.pebbles.back();
+  switch (t.move) {
+    case MoveKind::kStay:
+      break;
+    case MoveKind::kDownLeft:
+      current = tree.left(current);
+      break;
+    case MoveKind::kDownRight:
+      current = tree.right(current);
+      break;
+    case MoveKind::kUpLeft:
+    case MoveKind::kUpRight:
+      current = tree.parent(current);
+      break;
+    case MoveKind::kPlacePebble:
+      next.pebbles.push_back(tree.root());
+      break;
+    case MoveKind::kPickPebble:
+      next.pebbles.pop_back();
+      break;
+  }
+  return next;
+}
+
+std::vector<const PebbleAutomaton::Transition*> PebbleAutomaton::Applicable(
+    const BinaryTree& tree, const Config& config) const {
+  std::vector<const Transition*> out;
+  for (uint32_t idx : by_state_[config.state]) {
+    const Transition& t = transitions_[idx];
+    if (Applies(t, tree, config)) out.push_back(&t);
+  }
+  return out;
+}
+
+Result<bool> PebbleAutomatonAccepts(const PebbleAutomaton& a,
+                                    const BinaryTree& tree,
+                                    size_t max_configs) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  using Config = PebbleAutomaton::Config;
+  using TKind = PebbleAutomaton::TransitionKind;
+
+  // Reachable configurations.
+  std::map<Config, AgapNodeId> index;
+  std::vector<Config> configs;
+  auto intern = [&](Config c) -> AgapNodeId {
+    auto [it, inserted] = index.emplace(std::move(c), configs.size());
+    if (inserted) configs.push_back(it->first);
+    return it->second;
+  };
+  intern(a.InitialConfig(tree));
+
+  // Edge records, materialized into the graph after interning finishes (node
+  // ids for configs are their interning order, which is stable).
+  struct Edge {
+    AgapNodeId from;
+    AgapNodeId to1;
+    AgapNodeId to2;  // == kNoEdge unless a branch pair
+    bool accept;
+  };
+  constexpr AgapNodeId kNoEdge = static_cast<AgapNodeId>(-1);
+  std::vector<Edge> edges;
+
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (max_configs != 0 && configs.size() > max_configs) {
+      return Status::ResourceExhausted(
+          "configuration budget of " + std::to_string(max_configs) +
+          " exceeded");
+    }
+    const Config current = configs[i];  // copy: vector grows below
+    for (const auto* tr : a.Applicable(tree, current)) {
+      switch (tr->kind) {
+        case TKind::kMove: {
+          AgapNodeId to = intern(a.ApplyMove(*tr, tree, current));
+          edges.push_back(
+              {static_cast<AgapNodeId>(i), to, kNoEdge, false});
+          break;
+        }
+        case TKind::kAccept:
+          edges.push_back({static_cast<AgapNodeId>(i), kNoEdge, kNoEdge, true});
+          break;
+        case TKind::kBranch: {
+          Config l = current;
+          l.state = tr->left;
+          Config r = current;
+          r.state = tr->right;
+          AgapNodeId li = intern(std::move(l));
+          AgapNodeId ri = intern(std::move(r));
+          edges.push_back({static_cast<AgapNodeId>(i), li, ri, false});
+          break;
+        }
+      }
+    }
+  }
+
+  // Build G_{A,t}: configurations are or-nodes; each branch2 instance gets an
+  // and-node; branch0 points at the universal (empty and) accept node.
+  AlternatingGraph g;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    g.AddNode(AlternatingGraph::NodeType::kOr);
+  }
+  AgapNodeId accept = g.AddNode(AlternatingGraph::NodeType::kAnd);
+  for (const Edge& e : edges) {
+    if (e.accept) {
+      g.AddEdge(e.from, accept);
+    } else if (e.to2 == kNoEdge) {
+      g.AddEdge(e.from, e.to1);
+    } else {
+      AgapNodeId pair = g.AddNode(AlternatingGraph::NodeType::kAnd);
+      g.AddEdge(e.from, pair);
+      g.AddEdge(pair, e.to1);
+      g.AddEdge(pair, e.to2);
+    }
+  }
+  std::vector<bool> accessible = g.ComputeAccessible();
+  // The initial configuration was interned first (node id 0).
+  return static_cast<bool>(accessible[0]);
+}
+
+}  // namespace pebbletc

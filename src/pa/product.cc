@@ -1,0 +1,58 @@
+#include "src/pa/product.h"
+
+namespace pebbletc {
+
+Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
+                                               const TopDownTA& b_input) {
+  if (b_input.num_symbols != t.num_output_symbols()) {
+    return Status::InvalidArgument(
+        "automaton alphabet does not match the transducer output alphabet");
+  }
+  const TopDownTA b = EliminateSilentTransitions(b_input);
+  const uint32_t nb = b.num_states == 0 ? 1 : b.num_states;
+
+  PebbleAutomaton a(t.max_pebbles(), t.num_input_symbols());
+  // State (qT, qB) has id qT*nb + qB and T's level.
+  for (StateId qt = 0; qt < t.num_states(); ++qt) {
+    for (StateId qb = 0; qb < nb; ++qb) {
+      StateId id = a.AddState(t.level(qt));
+      PEBBLETC_CHECK(id == qt * nb + qb) << "state layout out of sync";
+    }
+  }
+  auto pair_id = [nb](StateId qt, StateId qb) { return qt * nb + qb; };
+  a.SetStart(pair_id(t.start(), b.start));
+
+  using TKind = PebbleTransducer::TransitionKind;
+  for (const auto& tr : t.transitions()) {
+    switch (tr.kind) {
+      case TKind::kMove:
+        // Equation (3): B's state is carried along unchanged.
+        for (StateId qb = 0; qb < nb; ++qb) {
+          a.AddMove(tr.guard, pair_id(tr.from, qb), tr.move,
+                    pair_id(tr.to, qb));
+        }
+        break;
+      case TKind::kOutputLeaf:
+        // Equation (4): branch0 whenever (a', qB) ∈ QF.
+        for (const TopDownTA::FinalPair& f : b.final_pairs) {
+          if (f.symbol == tr.output_symbol) {
+            a.AddAccept(tr.guard, pair_id(tr.from, f.state));
+          }
+        }
+        break;
+      case TKind::kOutputBinary:
+        // Equation (5): pair the spawned branches with B's moves on a'.
+        for (const TopDownTA::BinaryRule& r : b.rules) {
+          if (r.symbol == tr.output_symbol) {
+            a.AddBranch(tr.guard, pair_id(tr.from, r.from),
+                        pair_id(tr.out_left, r.left),
+                        pair_id(tr.out_right, r.right));
+          }
+        }
+        break;
+    }
+  }
+  return a;
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,25 @@
+// Proposition 4.6: the product of a k-pebble transducer T with a top-down
+// tree automaton B over T's output alphabet is a k-pebble automaton A with
+//   inst(A) = { t | T(t) ∩ inst(B) ≠ ∅ }.
+// For typechecking, B is the complement of the output type, making inst(A)
+// the complement of the inverse type {t | T(t) ⊆ τ}.
+
+#ifndef PEBBLETC_PA_PRODUCT_H_
+#define PEBBLETC_PA_PRODUCT_H_
+
+#include "src/common/result.h"
+#include "src/pa/automaton.h"
+#include "src/pt/transducer.h"
+#include "src/ta/topdown.h"
+
+namespace pebbletc {
+
+/// Builds the Prop. 4.6 product automaton. `b` must range over the
+/// transducer's output alphabet; silent transitions in `b` are eliminated
+/// first. The result has |Q_T| · |Q_B| states and T's pebble count.
+Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
+                                               const TopDownTA& b);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_PA_PRODUCT_H_

@@ -1,0 +1,169 @@
+#include "src/pa/to_mso.h"
+
+#include <map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+namespace {
+
+using F = MsoFormula;
+using TKind = PebbleAutomaton::TransitionKind;
+using M = PebbleAutomaton::MoveKind;
+
+class Translator {
+ public:
+  explicit Translator(const PebbleAutomaton& a) : a_(a) {
+    num_states_ = a.num_states();
+    k_ = a.max_pebbles();
+  }
+
+  // φ^{(1)}(q0): the whole sentence.
+  MsoPtr Sentence() { return Phi(a_.start()); }
+
+ private:
+  MsoVarId SVar(StateId q) const { return q; }
+  MsoVarId XVar(uint32_t level) const { return num_states_ + level - 1; }
+  MsoVarId YVar(uint32_t level) const { return num_states_ + k_ + level - 1; }
+  MsoVarId RVar(uint32_t level) const {
+    return num_states_ + 2 * k_ + level - 1;
+  }
+
+  // The paper's R_a(x) ∧ pebbles_b(x) guard.
+  MsoPtr Guard(const PebbleGuard& g, uint32_t level, MsoVarId x) const {
+    std::vector<MsoPtr> parts;
+    if (g.symbol != kAnySymbol) parts.push_back(F::Label(g.symbol, x));
+    for (uint32_t j = 0; j + 1 < level; ++j) {
+      if ((g.presence_mask >> j) & 1u) {
+        MsoPtr eq = F::Eq(x, XVar(j + 1));
+        parts.push_back(((g.presence_value >> j) & 1u) ? eq
+                                                       : F::Not(std::move(eq)));
+      }
+    }
+    return F::AndAll(std::move(parts));
+  }
+
+  // ψ_p: the reverse-closure conjunct for one transition (level i = the
+  // level of p.from).
+  MsoPtr Psi(const PebbleAutomaton::Transition& p) {
+    const uint32_t i = a_.level(p.from);
+    const MsoVarId x = XVar(i);
+    const MsoVarId y = YVar(i);
+    MsoPtr guard = Guard(p.guard, i, x);
+    switch (p.kind) {
+      case TKind::kAccept:
+        // ∀x (guard ⇒ S_u(x))
+        return F::ForallFo(x, F::Implies(std::move(guard),
+                                         F::In(x, SVar(p.from))));
+      case TKind::kBranch:
+        // ∀x (guard ∧ S_v(x) ∧ S_w(x) ⇒ S_u(x))
+        return F::ForallFo(
+            x, F::Implies(F::AndAll({std::move(guard), F::In(x, SVar(p.left)),
+                                     F::In(x, SVar(p.right))}),
+                          F::In(x, SVar(p.from))));
+      case TKind::kMove:
+        break;
+    }
+    switch (p.move) {
+      case M::kStay:
+        return F::ForallFo(
+            x, F::Implies(F::And(std::move(guard), F::In(x, SVar(p.to))),
+                          F::In(x, SVar(p.from))));
+      case M::kDownLeft:
+      case M::kDownRight: {
+        MsoPtr succ = p.move == M::kDownLeft ? F::Succ1(x, y) : F::Succ2(x, y);
+        return F::ForallFo(
+            x, F::ForallFo(
+                   y, F::Implies(F::AndAll({std::move(guard), std::move(succ),
+                                            F::In(y, SVar(p.to))}),
+                                 F::In(x, SVar(p.from)))));
+      }
+      case M::kUpLeft:
+      case M::kUpRight: {
+        // x is the child (left for up-left), y the parent we move to.
+        MsoPtr succ = p.move == M::kUpLeft ? F::Succ1(y, x) : F::Succ2(y, x);
+        return F::ForallFo(
+            x, F::ForallFo(
+                   y, F::Implies(F::AndAll({std::move(guard), std::move(succ),
+                                            F::In(y, SVar(p.to))}),
+                                 F::In(x, SVar(p.from)))));
+      }
+      case M::kPlacePebble: {
+        // ∀x_i (guard ∧ φ^{(i+1)}(p.to) ⇒ S_u(x_i)); φ^{(i+1)} sees x_i free
+        // as pebble i's position.
+        return F::ForallFo(
+            x, F::Implies(F::And(std::move(guard), Phi(p.to)),
+                          F::In(x, SVar(p.from))));
+      }
+      case M::kPickPebble: {
+        // ∀x_i (guard ∧ S_v(x_{i-1}) ⇒ S_u(x_i)).
+        PEBBLETC_CHECK(i >= 2) << "pick at level 1";
+        return F::ForallFo(
+            x, F::Implies(F::And(std::move(guard),
+                                 F::In(XVar(i - 1), SVar(p.to))),
+                          F::In(x, SVar(p.from))));
+      }
+    }
+    PEBBLETC_CHECK(false) << "unknown move kind";
+    return F::False();
+  }
+
+  // φ^{(i)}(v) = ∀S-block_i (reverse-closed^{(i)} ⇒ ∃r_i(Root(r_i) ∧
+  // S_v(r_i))), with i = level(v). Memoized: the Theorem 4.7 formula shares
+  // its replicated blocks.
+  MsoPtr Phi(StateId v) {
+    auto it = memo_.find(v);
+    if (it != memo_.end()) return it->second;
+    const uint32_t i = a_.level(v);
+    std::vector<MsoPtr> conjuncts;
+    for (const auto& p : a_.transitions()) {
+      if (a_.level(p.from) == i) conjuncts.push_back(Psi(p));
+    }
+    MsoPtr reverse_closed = F::AndAll(std::move(conjuncts));
+    const MsoVarId r = RVar(i);
+    MsoPtr conclusion = F::ExistsFo(r, F::And(F::Root(r), F::In(r, SVar(v))));
+    MsoPtr body = F::Implies(std::move(reverse_closed), std::move(conclusion));
+    // Quantify the level-i state sets, innermost-first for determinism.
+    for (StateId q = a_.num_states(); q-- > 0;) {
+      if (a_.level(q) == i) body = F::ForallSo(SVar(q), std::move(body));
+    }
+    memo_.emplace(v, body);
+    return body;
+  }
+
+  const PebbleAutomaton& a_;
+  uint32_t num_states_;
+  uint32_t k_;
+  std::map<StateId, MsoPtr> memo_;
+};
+
+}  // namespace
+
+Result<MsoPtr> PebbleAutomatonToMso(const PebbleAutomaton& a) {
+  if (a.num_states() == 0) {
+    return Status::InvalidArgument("automaton has no states");
+  }
+  if (a.level(a.start()) != 1) {
+    return Status::InvalidArgument("start state must have level 1");
+  }
+  Translator translator(a);
+  MsoPtr sentence = translator.Sentence();
+  // Sanity: the translation must produce a well-formed sentence.
+  PEBBLETC_ASSIGN_OR_RETURN(MsoAnalysis analysis, AnalyzeMso(sentence));
+  (void)analysis;
+  return sentence;
+}
+
+Result<Nbta> PebbleAutomatonToNbta(const PebbleAutomaton& a,
+                                   const RankedAlphabet& alphabet,
+                                   const MsoCompileOptions& options) {
+  if (alphabet.size() != a.num_symbols()) {
+    return Status::InvalidArgument("alphabet size mismatch");
+  }
+  PEBBLETC_ASSIGN_OR_RETURN(MsoPtr sentence, PebbleAutomatonToMso(a));
+  return CompileMsoSentence(sentence, alphabet, options);
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,36 @@
+// Theorem 4.7: every k-pebble tree automaton recognizes a regular tree
+// language. Implemented as in the paper's proof: translate the automaton to
+// an MSO sentence ψ_A (with one set variable per state, one pebble-position
+// variable per level, and the nested reverse-closed^{(i)} blocks), then
+// compile ψ_A to a bottom-up tree automaton with the src/mso compiler.
+//
+// The sentence has size exponential in k and the compilation is
+// non-elementary (Theorem 4.8 shows this is unavoidable); use the stats/
+// budget knobs when experimenting.
+
+#ifndef PEBBLETC_PA_TO_MSO_H_
+#define PEBBLETC_PA_TO_MSO_H_
+
+#include "src/common/result.h"
+#include "src/mso/compile.h"
+#include "src/mso/formula.h"
+#include "src/pa/automaton.h"
+#include "src/ta/nbta.h"
+
+namespace pebbletc {
+
+/// Builds ψ_A, the Theorem 4.7 sentence: a tree satisfies ψ_A iff the
+/// automaton accepts it. Variable layout: S_q = q for q ∈ Q; x_i (pebble i's
+/// position) = |Q|+i-1; y_i (move auxiliary) = |Q|+k+i-1; r_i (root
+/// auxiliary) = |Q|+2k+i-1.
+Result<MsoPtr> PebbleAutomatonToMso(const PebbleAutomaton& a);
+
+/// The full Theorem 4.7 pipeline: ψ_A compiled to an equivalent bottom-up
+/// tree automaton over `alphabet`.
+Result<Nbta> PebbleAutomatonToNbta(const PebbleAutomaton& a,
+                                   const RankedAlphabet& alphabet,
+                                   const MsoCompileOptions& options = {});
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_PA_TO_MSO_H_

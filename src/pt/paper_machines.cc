@@ -1,0 +1,191 @@
+#include "src/pt/paper_machines.h"
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+PebbleTransducer MakeCopyTransducer(const RankedAlphabet& sigma) {
+  PebbleTransducer t(/*max_pebbles=*/1,
+                     static_cast<uint32_t>(sigma.size()),
+                     static_cast<uint32_t>(sigma.size()));
+  StateId q = t.AddState(1);
+  StateId q1 = t.AddState(1);
+  StateId q2 = t.AddState(1);
+  t.SetStart(q);
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t.AddOutputBinary({.symbol = a}, q, a, q1, q2);
+  }
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t.AddOutputLeaf({.symbol = a}, q, a);
+  }
+  t.AddMove({}, q1, PebbleTransducer::MoveKind::kDownLeft, q);
+  t.AddMove({}, q2, PebbleTransducer::MoveKind::kDownRight, q);
+  return t;
+}
+
+Result<PebbleTransducer> MakeDoublingTransducer(const RankedAlphabet& sigma,
+                                                const RankedAlphabet& output,
+                                                SymbolId x_symbol) {
+  if (x_symbol >= output.size() || output.Rank(x_symbol) != 2) {
+    return Status::InvalidArgument("x must be a binary output symbol");
+  }
+  if (output.size() != sigma.size() + 1) {
+    return Status::InvalidArgument(
+        "output alphabet must extend the input alphabet by exactly x");
+  }
+  PebbleTransducer t(/*max_pebbles=*/1,
+                     static_cast<uint32_t>(sigma.size()),
+                     static_cast<uint32_t>(output.size()));
+  StateId q1 = t.AddState(1);
+  StateId q2 = t.AddState(1);
+  StateId q3 = t.AddState(1);
+  StateId q4 = t.AddState(1);
+  t.SetStart(q1);
+  t.AddOutputBinary({}, q1, x_symbol, q2, q2);
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t.AddOutputLeaf({.symbol = a}, q2, a);
+  }
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t.AddOutputBinary({.symbol = a}, q2, a, q3, q4);
+  }
+  t.AddMove({}, q3, PebbleTransducer::MoveKind::kDownLeft, q1);
+  t.AddMove({}, q4, PebbleTransducer::MoveKind::kDownRight, q1);
+  return t;
+}
+
+void AttachPreorderAdvance(PebbleTransducer* t, uint32_t level,
+                           const RankedAlphabet& sigma, SymbolId root_symbol,
+                           StateId enter, StateId done, StateId exhausted) {
+  using M = PebbleTransducer::MoveKind;
+  StateId q3 = t->AddState(level);  // climbing until we came from a left child
+  StateId q4 = t->AddState(level);  // one up-left done; go down-right next
+  // (a2, enter) → (done, down-left): the pre-order successor of an internal
+  // node is its first child.
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t->AddMove({.symbol = a}, enter, M::kDownLeft, done);
+  }
+  // (a0, enter) → (q3, stay): on a leaf, prepare to climb.
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t->AddMove({.symbol = a}, enter, M::kStay, q3);
+  }
+  // Climb while we keep arriving from right children; after one up-left the
+  // pre-order successor is the sibling (down-right). Guards exclude the
+  // distinguished root symbol so exhaustion is deterministic.
+  for (SymbolId a = 0; a < sigma.size(); ++a) {
+    if (a == root_symbol) continue;
+    t->AddMove({.symbol = a}, q3, M::kUpRight, q3);
+    t->AddMove({.symbol = a}, q3, M::kUpLeft, q4);
+  }
+  t->AddMove({}, q4, M::kDownRight, done);
+  // (r, q3) → (exhausted, stay): climbed back to the root — traversal done.
+  t->AddMove({.symbol = root_symbol}, q3, M::kStay, exhausted);
+}
+
+void AttachPreorderAdvanceWithRootPebble(PebbleTransducer* t, uint32_t level,
+                                         const RankedAlphabet& sigma,
+                                         StateId enter, StateId done,
+                                         StateId exhausted) {
+  using M = PebbleTransducer::MoveKind;
+  PEBBLETC_CHECK(level >= 2) << "root-pebble variant needs level >= 2";
+  StateId q3 = t->AddState(level);
+  StateId q4 = t->AddState(level);
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t->AddMove({.symbol = a}, enter, M::kDownLeft, done);
+  }
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t->AddMove({.symbol = a}, enter, M::kStay, q3);
+  }
+  // Climb while off the root (presence bit 0 clear); exhaustion is reaching
+  // the root-marker pebble.
+  t->AddMove({.presence_mask = 1, .presence_value = 0}, q3, M::kUpRight, q3);
+  t->AddMove({.presence_mask = 1, .presence_value = 0}, q3, M::kUpLeft, q4);
+  t->AddMove({.presence_mask = 1, .presence_value = 1}, q3, M::kStay,
+             exhausted);
+  t->AddMove({}, q4, M::kDownRight, done);
+}
+
+Result<PebbleTransducer> MakeRotationTransducer(const RankedAlphabet& sigma,
+                                                const RankedAlphabet& output,
+                                                const RotationSymbols& syms) {
+  using M = PebbleTransducer::MoveKind;
+  if (syms.s_leaf >= sigma.size() || sigma.Rank(syms.s_leaf) != 0) {
+    return Status::InvalidArgument("s must be an input leaf symbol");
+  }
+  if (syms.root_symbol >= sigma.size()) {
+    return Status::InvalidArgument("root symbol must be an input symbol");
+  }
+  if (syms.new_root >= output.size() || output.Rank(syms.new_root) != 2) {
+    return Status::InvalidArgument("new root must be a binary output symbol");
+  }
+  if (syms.m_leaf >= output.size() || output.Rank(syms.m_leaf) != 0 ||
+      syms.n_leaf >= output.size() || output.Rank(syms.n_leaf) != 0) {
+    return Status::InvalidArgument("m and n must be leaf output symbols");
+  }
+  for (SymbolId a = 0; a < sigma.size(); ++a) {
+    if (a >= output.size() || output.Rank(a) != sigma.Rank(a)) {
+      return Status::InvalidArgument(
+          "output alphabet must extend the input alphabet (shared ids)");
+    }
+  }
+
+  PebbleTransducer t(/*max_pebbles=*/1,
+                     static_cast<uint32_t>(sigma.size()),
+                     static_cast<uint32_t>(output.size()));
+  // Search phase: walk to the first s-leaf in pre-order.
+  StateId f0 = t.AddState(1);        // inspect current node
+  StateId f_enter = t.AddState(1);   // pre-order advance entry
+  StateId f_dead = t.AddState(1);    // exhausted without finding s: stuck
+  // Rotation phase.
+  StateId q_at_s = t.AddState(1);
+  StateId q_emit_m = t.AddState(1);
+  StateId q_ascend = t.AddState(1);
+  StateId q_from_left = t.AddState(1);
+  StateId q_from_right = t.AddState(1);
+  StateId q_desc_left = t.AddState(1);
+  StateId q_desc_right = t.AddState(1);
+  // Copy subroutine (Example 3.3).
+  StateId c = t.AddState(1);
+  StateId c1 = t.AddState(1);
+  StateId c2 = t.AddState(1);
+  t.SetStart(f0);
+
+  // Search: found s → rotate; otherwise advance in pre-order.
+  t.AddMove({.symbol = syms.s_leaf}, f0, M::kStay, q_at_s);
+  for (SymbolId a = 0; a < sigma.size(); ++a) {
+    if (a == syms.s_leaf) continue;
+    t.AddMove({.symbol = a}, f0, M::kStay, f_enter);
+  }
+  AttachPreorderAdvance(&t, /*level=*/1, sigma, syms.root_symbol, f_enter, f0,
+                        f_dead);
+
+  // Rotation around s (Example 3.7): new root, then unfold the path to the
+  // old root while copying the subtrees hanging off it.
+  t.AddOutputBinary({.symbol = syms.s_leaf}, q_at_s, syms.new_root, q_emit_m,
+                    q_ascend);
+  t.AddOutputLeaf({}, q_emit_m, syms.m_leaf);
+  t.AddOutputLeaf({.symbol = syms.root_symbol}, q_ascend, syms.n_leaf);
+  for (SymbolId a = 0; a < sigma.size(); ++a) {
+    if (a == syms.root_symbol) continue;
+    t.AddMove({.symbol = a}, q_ascend, M::kUpLeft, q_from_left);
+    t.AddMove({.symbol = a}, q_ascend, M::kUpRight, q_from_right);
+  }
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t.AddOutputBinary({.symbol = a}, q_from_left, a, q_desc_right, q_ascend);
+    t.AddOutputBinary({.symbol = a}, q_from_right, a, q_ascend, q_desc_left);
+  }
+  t.AddMove({}, q_desc_right, M::kDownRight, c);
+  t.AddMove({}, q_desc_left, M::kDownLeft, c);
+
+  // Copy.
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t.AddOutputBinary({.symbol = a}, c, a, c1, c2);
+  }
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t.AddOutputLeaf({.symbol = a}, c, a);
+  }
+  t.AddMove({}, c1, M::kDownLeft, c);
+  t.AddMove({}, c2, M::kDownRight, c);
+  return t;
+}
+
+}  // namespace pebbletc

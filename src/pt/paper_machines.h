@@ -1,0 +1,72 @@
+// The worked example transducers of Section 3 as library factories:
+//   * Example 3.3 — the identity (copy) transducer,
+//   * Example 3.4 — the pre-order "advance pebble" subroutine,
+//   * Example 3.6 — the exponential doubling transducer t ↦ f(t),
+//   * Example 3.7 — rotation (re-rooting) around the unique leaf labelled s.
+// Each factory documents its alphabet contract; all machines are
+// deterministic unless noted.
+
+#ifndef PEBBLETC_PT_PAPER_MACHINES_H_
+#define PEBBLETC_PT_PAPER_MACHINES_H_
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/pt/transducer.h"
+
+namespace pebbletc {
+
+/// Example 3.3: the 1-pebble transducer copying its input unchanged.
+/// Input and output alphabets are both `sigma`.
+PebbleTransducer MakeCopyTransducer(const RankedAlphabet& sigma);
+
+/// Example 3.6: maps t to f(t) where
+///   f(a(t1,t2)) = x(a(f(t1),f(t2)), a(f(t1),f(t2)))  for binary a,
+///   f(a)        = x(a, a)                            for leaf a.
+/// The output is exponentially larger than the input. Output alphabet =
+/// input alphabet plus the binary symbol named by `x_name` (interned by the
+/// caller into `output`); `output` must extend `sigma` with exactly that
+/// symbol (same ids for shared symbols).
+Result<PebbleTransducer> MakeDoublingTransducer(const RankedAlphabet& sigma,
+                                                const RankedAlphabet& output,
+                                                SymbolId x_symbol);
+
+/// Example 3.7: rotation around the (first, in pre-order) leaf labelled
+/// `s_leaf`. `root_symbol` is the distinguished symbol that labels exactly
+/// the root (the paper's r). Output alphabet `output` must extend `sigma`
+/// with a binary `r2` (the new root), and leaves `m` and `n`.
+struct RotationSymbols {
+  SymbolId s_leaf;       ///< in the input alphabet
+  SymbolId root_symbol;  ///< in the input alphabet (labels only the root)
+  SymbolId new_root;     ///< binary, in the output alphabet
+  SymbolId m_leaf;       ///< leaf, in the output alphabet
+  SymbolId n_leaf;       ///< leaf, in the output alphabet
+};
+Result<PebbleTransducer> MakeRotationTransducer(const RankedAlphabet& sigma,
+                                                const RankedAlphabet& output,
+                                                const RotationSymbols& syms);
+
+/// Example 3.4: extends `t` with the pre-order "advance the current pebble"
+/// subroutine for states of level `level`. On entry (state `enter`) the
+/// pebble moves to the next node in pre-order and the machine continues in
+/// `done`; if the traversal is exhausted (the pebble was on the last node)
+/// it continues in `exhausted` with the pebble parked on the root.
+/// `sigma` supplies symbol ranks for the guards; `root_symbol` is the
+/// distinguished root label (the paper's r). Internal helper states are
+/// created inside `t`.
+void AttachPreorderAdvance(PebbleTransducer* t, uint32_t level,
+                           const RankedAlphabet& sigma, SymbolId root_symbol,
+                           StateId enter, StateId done, StateId exhausted);
+
+/// Variant of the Example 3.4 subroutine for machines that keep pebble 1
+/// parked on the root as a *root marker*: instead of a distinguished root
+/// symbol, exhaustion is detected by presence bit 0 (the current pebble
+/// sharing a node with pebble 1). Requires `level` ≥ 2. Used by the
+/// Example 3.5 pattern-matching compiler (src/query/selection.h).
+void AttachPreorderAdvanceWithRootPebble(PebbleTransducer* t, uint32_t level,
+                                         const RankedAlphabet& sigma,
+                                         StateId enter, StateId done,
+                                         StateId exhausted);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_PT_PAPER_MACHINES_H_

@@ -1,0 +1,27 @@
+// Human-readable rendering of pebble transducers and automata in the
+// paper's transition notation, for debugging and documentation:
+//   (a, b=0-, q3) -> (q5, down-left)
+//   (*, q1) -> (x(q2, q2), output2)
+
+#ifndef PEBBLETC_PT_PRINT_H_
+#define PEBBLETC_PT_PRINT_H_
+
+#include <string>
+
+#include "src/alphabet/alphabet.h"
+#include "src/pa/automaton.h"
+#include "src/pt/transducer.h"
+
+namespace pebbletc {
+
+/// Renders all states and transitions. State q of level i prints as "q<id>^(i)".
+std::string TransducerString(const PebbleTransducer& t,
+                             const RankedAlphabet& input,
+                             const RankedAlphabet& output);
+
+std::string PebbleAutomatonString(const PebbleAutomaton& a,
+                                  const RankedAlphabet& alphabet);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_PT_PRINT_H_

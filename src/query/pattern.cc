@@ -1,0 +1,155 @@
+#include "src/query/pattern.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/regex/dfa.h"
+#include "src/regex/path_expr.h"
+
+namespace pebbletc {
+
+namespace {
+
+class PatternParser {
+ public:
+  PatternParser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<Pattern> Parse() {
+    Pattern p;
+    PEBBLETC_ASSIGN_OR_RETURN(uint32_t root, ParseNode(&p));
+    PEBBLETC_CHECK(root == 0) << "pattern root must be node 0";
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return p;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<uint32_t> ParseNode(Pattern* p) {
+    if (!Consume('[')) {
+      return Status::ParseError("expected '[' at offset " +
+                                std::to_string(pos_));
+    }
+    size_t start = pos_;
+    int depth = 1;
+    while (pos_ < text_.size() && depth > 0) {
+      if (text_[pos_] == '[') ++depth;
+      if (text_[pos_] == ']') --depth;
+      if (depth > 0) ++pos_;
+    }
+    if (depth != 0) return Status::ParseError("unterminated '['");
+    std::string_view regex_text = text_.substr(start, pos_ - start);
+    ++pos_;  // consume ']'
+    PEBBLETC_ASSIGN_OR_RETURN(RegexPtr regex,
+                              ParseRegex(regex_text, alphabet_));
+    uint32_t index = static_cast<uint32_t>(p->nodes.size());
+    p->nodes.push_back({std::move(regex), {}, 0});
+    if (Consume('(')) {
+      while (true) {
+        PEBBLETC_ASSIGN_OR_RETURN(uint32_t child, ParseNode(p));
+        p->nodes[index].children.push_back(child);
+        p->nodes[child].parent = index;
+        if (Consume(',')) continue;
+        if (Consume(')')) break;
+        return Status::ParseError("expected ',' or ')' at offset " +
+                                  std::to_string(pos_));
+      }
+    }
+    return index;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Alphabet* alphabet_;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(std::string_view text, Alphabet* alphabet) {
+  return PatternParser(text, alphabet).Parse();
+}
+
+std::vector<std::vector<NodeId>> MatchPattern(const Pattern& pattern,
+                                              const UnrankedTree& tree,
+                                              uint32_t num_tags) {
+  std::vector<std::vector<NodeId>> out;
+  if (tree.empty() || pattern.nodes.empty()) return out;
+  const size_t m = pattern.nodes.size();
+
+  // valid[j] = set of (origin, target) pairs satisfying condition j; for
+  // j = 0 the origin is the tree root.
+  std::vector<Dfa> dfas;
+  dfas.reserve(m);
+  for (const auto& node : pattern.nodes) {
+    dfas.push_back(CompileRegexToDfa(node.regex, num_tags));
+  }
+  // For each origin node y, the set eval(r_j, y) as a bool matrix.
+  std::vector<std::vector<std::vector<bool>>> sat(m);
+  for (size_t j = 0; j < m; ++j) {
+    sat[j].assign(tree.size(), std::vector<bool>(tree.size(), false));
+    for (NodeId y = 0; y < tree.size(); ++y) {
+      for (NodeId x : EvalPathFrom(tree, y, dfas[j])) {
+        sat[j][y][x] = true;
+      }
+    }
+  }
+
+  // Pre-order sequence of the tree nodes (the Example 3.5 enumeration
+  // order).
+  std::vector<NodeId> preorder;
+  {
+    std::vector<NodeId> stack = {tree.root()};
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      preorder.push_back(n);
+      const auto& kids = tree.children(n);
+      for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    }
+  }
+
+  // Nested lexicographic enumeration (odometer) over m pre-order positions.
+  std::vector<size_t> pos(m, 0);
+  std::vector<NodeId> binding(m);
+  const size_t n = preorder.size();
+  while (true) {
+    bool ok = true;
+    for (size_t j = 0; j < m && ok; ++j) {
+      binding[j] = preorder[pos[j]];
+      NodeId origin =
+          (j == 0) ? tree.root() : binding[pattern.nodes[j].parent];
+      ok = sat[j][origin][binding[j]];
+    }
+    if (ok) out.push_back(binding);
+    // Advance the odometer (last position fastest).
+    size_t j = m;
+    while (j > 0) {
+      --j;
+      if (++pos[j] < n) break;
+      pos[j] = 0;
+      if (j == 0) return out;
+    }
+  }
+}
+
+}  // namespace pebbletc

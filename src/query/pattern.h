@@ -1,0 +1,52 @@
+// Tree patterns (Section 2.2): trees labelled with regular path expressions,
+// the common pattern-matching core of XML-QL, Lorel, StruQL, UnQL. A match
+// of pattern p = [r1]([r2],...) in a tree t binds each pattern node j to a
+// tree node x_j with x_1 ∈ eval(r1, t) and x_child ∈ eval(r_child, x_parent).
+//
+// Concrete syntax:  [a.b]([c.(a|b)], [c*.a])
+//
+// This module gives patterns their direct (reference) semantics on unranked
+// trees; src/query/selection.h compiles them to k-pebble transducers per
+// Example 3.5.
+
+#ifndef PEBBLETC_QUERY_PATTERN_H_
+#define PEBBLETC_QUERY_PATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/regex/regex.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+/// A pattern: nodes in pre-order, node 0 is the root pattern node.
+struct Pattern {
+  struct Node {
+    RegexPtr regex;
+    /// Pattern-node indices of the children (each > this node's index).
+    std::vector<uint32_t> children;
+    /// Index of the parent pattern node; 0's parent is itself (unused).
+    uint32_t parent = 0;
+  };
+  std::vector<Node> nodes;
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Parses the `[regex](child, child, ...)` syntax. Path-expression symbols
+/// are interned into `*alphabet`.
+Result<Pattern> ParsePattern(std::string_view text, Alphabet* alphabet);
+
+/// All matches of `pattern` in `tree`, as tuples (indexed by pattern node) of
+/// tree nodes, in lexicographic pre-order order of the bound tuples. The
+/// alphabet size is needed to compile the path expressions.
+std::vector<std::vector<NodeId>> MatchPattern(const Pattern& pattern,
+                                              const UnrankedTree& tree,
+                                              uint32_t num_tags);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_QUERY_PATTERN_H_

@@ -1,0 +1,320 @@
+#include "src/query/selection.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/pt/paper_machines.h"
+#include "src/regex/dfa.h"
+#include "src/regex/path_expr.h"
+#include "src/tree/encode.h"
+
+namespace pebbletc {
+
+SelectionOutputTags ExtendAlphabetForSelection(const Alphabet& input_tags,
+                                               Alphabet* output_tags) {
+  for (SymbolId t = 0; t < input_tags.size(); ++t) {
+    SymbolId id = output_tags->Intern(input_tags.Name(t));
+    PEBBLETC_CHECK(id == t) << "output alphabet must start empty";
+  }
+  SelectionOutputTags tags;
+  tags.result = output_tags->Intern("result");
+  tags.item = output_tags->Intern("item");
+  tags.end = output_tags->Intern("end");
+  return tags;
+}
+
+Result<UnrankedTree> EvalSelectionReference(const SelectionQuery& query,
+                                            const UnrankedTree& doc,
+                                            const Alphabet& input_tags,
+                                            const SelectionOutputTags& tags) {
+  if (query.selected >= query.pattern.size()) {
+    return Status::InvalidArgument("selected pattern node out of range");
+  }
+  auto matches = MatchPattern(query.pattern, doc,
+                              static_cast<uint32_t>(input_tags.size()));
+  UnrankedTree out;
+  std::vector<NodeId> items;
+  for (const auto& binding : matches) {
+    // Copy the selected subtree (tags share ids with the output alphabet).
+    auto copy = [&](auto&& self, NodeId src) -> NodeId {
+      std::vector<NodeId> kids;
+      for (NodeId c : doc.children(src)) kids.push_back(self(self, c));
+      return out.AddNode(doc.tag(src), std::move(kids));
+    };
+    NodeId copied = copy(copy, binding[query.selected]);
+    items.push_back(out.AddNode(tags.item, {copied}));
+  }
+  items.push_back(out.AddNode(tags.end));
+  out.SetRoot(out.AddNode(tags.result, std::move(items)));
+  return out;
+}
+
+namespace {
+
+using M = PebbleTransducer::MoveKind;
+
+// Generates the Example 3.5 machine. Pebble/bit layout (presence bit p-1
+// tracks pebble p):
+//   pebble 1      — parked root marker            (presence bit 0)
+//   pebble v+2    — pattern variable v, v=0..m-1  (presence bit v+1)
+//   pebble m+2    — condition checker / copier
+class SelectionCompiler {
+ public:
+  SelectionCompiler(const SelectionQuery& query, const EncodedAlphabet& in,
+                    const EncodedAlphabet& out,
+                    const SelectionOutputTags& tags)
+      : query_(query),
+        in_(in),
+        out_(out),
+        tags_(tags),
+        m_(static_cast<uint32_t>(query.pattern.size())),
+        t_(m_ + 2, static_cast<uint32_t>(in.ranked.size()),
+           static_cast<uint32_t>(out.ranked.size())) {}
+
+  Result<PebbleTransducer> Compile() {
+    if (query_.selected >= m_) {
+      return Status::InvalidArgument("selected pattern node out of range");
+    }
+    if (m_ + 2 > 30) {
+      return Status::InvalidArgument("pattern too large (pebble limit)");
+    }
+    // Condition DFAs: reverse(translate(r_j)) over the encoded alphabet.
+    dfas_.reserve(m_);
+    for (uint32_t j = 0; j < m_; ++j) {
+      RegexPtr reversed = Regex::Reverse(query_.pattern.nodes[j].regex);
+      PEBBLETC_ASSIGN_OR_RETURN(Dfa dfa,
+                                TranslatePathExpression(reversed, in_));
+      dfas_.push_back(std::move(dfa));
+    }
+    // Note: translate and reverse commute up to language equality
+    // (separators are inserted symmetrically), so translating the reversed
+    // regex equals reversing the translated one.
+
+    BuildSkeleton();
+    BuildOdometer();
+    BuildConditions();
+    BuildEmit();
+    t_.SetStart(s0_);
+    return std::move(t_);
+  }
+
+ private:
+  uint32_t CheckerLevel() const { return m_ + 2; }
+  uint32_t VarLevel(uint32_t v) const { return v + 2; }
+  uint32_t VarBit(uint32_t v) const { return v + 1; }
+
+  StateId NilOut(uint32_t level) {
+    auto it = nil_out_.find(level);
+    if (it != nil_out_.end()) return it->second;
+    StateId s = t_.AddState(level);
+    t_.AddOutputLeaf({}, s, out_.nil);
+    nil_out_[level] = s;
+    return s;
+  }
+
+  void BuildSkeleton() {
+    // s0: emit the result root; the list branch arms the odometer.
+    s0_ = t_.AddState(1);
+    StateId list = t_.AddState(1);
+    t_.AddOutputBinary({}, s0_, out_.tag_symbol[tags_.result], list,
+                       NilOut(1));
+    // finish: all tuples exhausted — emit the end sentinel end(|,|).
+    finish_ = t_.AddState(1);
+    t_.AddOutputBinary({}, finish_, out_.tag_symbol[tags_.end], NilOut(1),
+                       NilOut(1));
+    // arm chain: arm_[l] is entered right after pebble l was placed or
+    // advanced; it places pebble l+1 (or the checker, starting condition 0).
+    arm_.assign(m_ + 2, 0);
+    for (uint32_t l = 2; l <= m_ + 1; ++l) arm_[l] = t_.AddState(l);
+    t_.AddMove({}, list, M::kPlacePebble, arm_[2]);
+    cond_begin_.assign(m_, 0);
+    for (uint32_t j = 0; j < m_; ++j) {
+      cond_begin_[j] = t_.AddState(CheckerLevel());
+    }
+    for (uint32_t l = 2; l <= m_ + 1; ++l) {
+      StateId next = (l == m_ + 1) ? cond_begin_[0] : arm_[l + 1];
+      t_.AddMove({}, arm_[l], M::kPlacePebble, next);
+    }
+  }
+
+  void BuildOdometer() {
+    // adv_[v]: advance pattern variable v (level v+2); on success re-arm the
+    // deeper variables, on exhaustion pick and advance the previous one.
+    adv_.assign(m_, 0);
+    for (uint32_t v = 0; v < m_; ++v) adv_[v] = t_.AddState(VarLevel(v));
+    for (uint32_t v = 0; v < m_; ++v) {
+      // A successful advance re-enters the arm chain at this variable's own
+      // level, which re-places the deeper pebbles (or, for the innermost
+      // variable, places the checker and starts condition 0).
+      AttachPreorderAdvanceWithRootPebble(&t_, VarLevel(v), in_.ranked,
+                                          adv_[v], arm_[VarLevel(v)],
+                                          Exhaust(v));
+    }
+  }
+
+  // Exhaustion continuation for variable v: pick its pebble; advance the
+  // previous variable, or finish when v == 0.
+  StateId Exhaust(uint32_t v) {
+    StateId s = t_.AddState(VarLevel(v));
+    StateId target = (v == 0) ? finish_ : adv_[v - 1];
+    t_.AddMove({}, s, M::kPickPebble, target);
+    return s;
+  }
+
+  // fail / continue-after-emit: pick the checker, advance the innermost
+  // variable.
+  StateId PickThenAdvance() {
+    StateId s = t_.AddState(CheckerLevel());
+    t_.AddMove({}, s, M::kPickPebble, adv_[m_ - 1]);
+    return s;
+  }
+
+  void BuildConditions() {
+    fail_ = PickThenAdvance();
+    for (uint32_t j = 0; j < m_; ++j) BuildCondition(j);
+  }
+
+  void BuildCondition(uint32_t j) {
+    const Dfa& dfa = dfas_[j];
+    const uint32_t lvl = CheckerLevel();
+    const uint32_t self_bit = VarBit(j);
+    const uint32_t par_bit =
+        (j == 0) ? 0u : VarBit(query_.pattern.nodes[j].parent);
+
+    // climb_at[s]: the checker consumed the current node in DFA state s.
+    std::vector<StateId> climb_at(dfa.num_states());
+    std::vector<StateId> arrive(dfa.num_states());
+    for (StateId s = 0; s < dfa.num_states(); ++s) {
+      climb_at[s] = t_.AddState(lvl);
+      arrive[s] = t_.AddState(lvl);
+    }
+
+    // Search: walk the checker in pre-order until it sits on variable j's
+    // pebble, then consume that node's symbol into the DFA.
+    StateId search = cond_begin_[j];
+    for (SymbolId sym = 0; sym < in_.ranked.size(); ++sym) {
+      t_.AddMove({.symbol = sym,
+                  .presence_mask = 1u << self_bit,
+                  .presence_value = 1u << self_bit},
+                 search, M::kStay, climb_at[dfa.Next(dfa.start(), sym)]);
+    }
+    StateId search_adv = t_.AddState(lvl);
+    t_.AddMove({.presence_mask = 1u << self_bit, .presence_value = 0}, search,
+               M::kStay, search_adv);
+    AttachPreorderAdvanceWithRootPebble(&t_, lvl, in_.ranked, search_adv,
+                                        search, fail_);
+
+    // Next step after condition j passes.
+    StateId pass;
+    if (j + 1 < m_) {
+      // Reset the checker for the next condition.
+      pass = t_.AddState(lvl);
+      StateId between = t_.AddState(m_ + 1);
+      t_.AddMove({}, pass, M::kPickPebble, between);
+      t_.AddMove({}, between, M::kPlacePebble, cond_begin_[j + 1]);
+    } else {
+      pass = emit_;  // built in BuildEmit (allocated in Compile order below)
+    }
+
+    for (StateId s = 0; s < dfa.num_states(); ++s) {
+      const uint32_t par_mask = 1u << par_bit;
+      // On the parent pebble's node: the condition resolves by acceptance.
+      t_.AddMove({.presence_mask = par_mask, .presence_value = par_mask},
+                 climb_at[s], M::kStay, dfa.accepting(s) ? pass : fail_);
+      if (par_bit != 0) {
+        // At the root without having met the parent pebble: fail.
+        t_.AddMove({.presence_mask = par_mask | 1u, .presence_value = 1u},
+                   climb_at[s], M::kStay, fail_);
+        // Otherwise climb.
+        t_.AddMove({.presence_mask = par_mask | 1u, .presence_value = 0},
+                   climb_at[s], M::kUpLeft, arrive[s]);
+        t_.AddMove({.presence_mask = par_mask | 1u, .presence_value = 0},
+                   climb_at[s], M::kUpRight, arrive[s]);
+      } else {
+        t_.AddMove({.presence_mask = 1u, .presence_value = 0}, climb_at[s],
+                   M::kUpLeft, arrive[s]);
+        t_.AddMove({.presence_mask = 1u, .presence_value = 0}, climb_at[s],
+                   M::kUpRight, arrive[s]);
+      }
+      for (SymbolId sym = 0; sym < in_.ranked.size(); ++sym) {
+        t_.AddMove({.symbol = sym}, arrive[s], M::kStay,
+                   climb_at[dfa.Next(s, sym)]);
+      }
+    }
+  }
+
+  void BuildEmit() {
+    const uint32_t lvl = CheckerLevel();
+    // emit_: all conditions passed. Emit -(item(copy, |), continue).
+    StateId item = t_.AddState(lvl);
+    StateId cont = PickThenAdvance();
+    t_.AddOutputBinary({}, emit_, out_.cons, item, cont);
+    StateId copy_reset = t_.AddState(lvl);
+    t_.AddOutputBinary({}, item, out_.tag_symbol[tags_.item], copy_reset,
+                       NilOut(lvl));
+    // copy_reset: re-place the checker at the root, find the selected
+    // pebble, copy its subtree.
+    StateId between = t_.AddState(m_ + 1);
+    t_.AddMove({}, copy_reset, M::kPickPebble, between);
+    StateId sel_search = t_.AddState(lvl);
+    t_.AddMove({}, between, M::kPlacePebble, sel_search);
+    const uint32_t sel_bit = VarBit(query_.selected);
+    StateId copy = t_.AddState(lvl);
+    t_.AddMove({.presence_mask = 1u << sel_bit, .presence_value = 1u << sel_bit},
+               sel_search, M::kStay, copy);
+    StateId sel_adv = t_.AddState(lvl);
+    t_.AddMove({.presence_mask = 1u << sel_bit, .presence_value = 0},
+               sel_search, M::kStay, sel_adv);
+    // Exhaustion is impossible (the pebble is on some node); fail defensively.
+    AttachPreorderAdvanceWithRootPebble(&t_, lvl, in_.ranked, sel_adv,
+                                        sel_search, fail_);
+    // Copy the encoded subtree under the checker, mapping input symbol ids
+    // to output symbol ids.
+    StateId cp_left = t_.AddState(lvl);
+    StateId cp_right = t_.AddState(lvl);
+    t_.AddMove({}, cp_left, M::kDownLeft, copy);
+    t_.AddMove({}, cp_right, M::kDownRight, copy);
+    for (SymbolId tag = 0; tag < in_.tag_symbol.size(); ++tag) {
+      t_.AddOutputBinary({.symbol = in_.tag_symbol[tag]}, copy,
+                         out_.tag_symbol[tag], cp_left, cp_right);
+    }
+    t_.AddOutputBinary({.symbol = in_.cons}, copy, out_.cons, cp_left,
+                       cp_right);
+    t_.AddOutputLeaf({.symbol = in_.nil}, copy, out_.nil);
+  }
+
+  const SelectionQuery& query_;
+  const EncodedAlphabet& in_;
+  const EncodedAlphabet& out_;
+  const SelectionOutputTags& tags_;
+  const uint32_t m_;
+  PebbleTransducer t_;
+  std::vector<Dfa> dfas_;
+  std::map<uint32_t, StateId> nil_out_;
+  StateId s0_ = 0;
+  StateId finish_ = 0;
+  StateId fail_ = 0;
+  StateId emit_ = 0;
+  std::vector<StateId> arm_;
+  std::vector<StateId> cond_begin_;
+  std::vector<StateId> adv_;
+
+ public:
+  // emit_ must exist before BuildCondition wires the last condition's pass
+  // edge; allocate it early.
+  void AllocateEmit() { emit_ = t_.AddState(CheckerLevel()); }
+};
+
+}  // namespace
+
+Result<PebbleTransducer> CompileSelectionQuery(
+    const SelectionQuery& query, const EncodedAlphabet& input_enc,
+    const EncodedAlphabet& output_enc, const SelectionOutputTags& tags) {
+  SelectionCompiler compiler(query, input_enc, output_enc, tags);
+  compiler.AllocateEmit();
+  return compiler.Compile();
+}
+
+}  // namespace pebbletc

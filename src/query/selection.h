@@ -1,0 +1,70 @@
+// Selection queries compiled to k-pebble transducers — Example 3.5, the
+// paper's demonstration that pattern matching (the "most essential common
+// denominator of existing XML query languages") is expressible with
+// pebbles.
+//
+// A selection query is a tree pattern plus a designated pattern node. Its
+// result document lists, for every match of the pattern (in the lexicographic
+// pre-order enumeration order of Example 3.5), a copy of the subtree bound to
+// the designated node:
+//
+//   <result> <item> binding1 </item> ... <item> bindingK </item> <end/>
+//   </result>
+//
+// The trailing <end/> sentinel keeps the output a valid encoded document
+// that a transducer can emit without unbounded lookahead (DTD:
+// result := item*.end).
+//
+// The compiled machine uses m + 2 pebbles for an m-node pattern: pebble 1 is
+// parked on the root as a root marker, pebbles 2..m+1 hold the candidate
+// bindings x_1..x_m (advanced with the Example 3.4 pre-order subroutine),
+// and pebble m+2 verifies the regular path conditions by locating each bound
+// node and running the reversed translated path regex up the tree — exactly
+// the paper's construction (it uses m+1 pebbles; our extra pebble is the
+// root marker replacing the paper's implicit root test).
+
+#ifndef PEBBLETC_QUERY_SELECTION_H_
+#define PEBBLETC_QUERY_SELECTION_H_
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/pt/transducer.h"
+#include "src/query/pattern.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+struct SelectionQuery {
+  Pattern pattern;
+  /// Index of the pattern node whose bindings are returned.
+  uint32_t selected = 0;
+};
+
+/// The output tag ids (in the output tag alphabet) for the wrapper elements.
+struct SelectionOutputTags {
+  SymbolId result;
+  SymbolId item;
+  SymbolId end;
+};
+
+/// Builds the output tag alphabet for a selection query: a copy of
+/// `input_tags` (same ids) extended with result/item/end.
+SelectionOutputTags ExtendAlphabetForSelection(const Alphabet& input_tags,
+                                               Alphabet* output_tags);
+
+/// Reference semantics on unranked documents.
+Result<UnrankedTree> EvalSelectionReference(const SelectionQuery& query,
+                                            const UnrankedTree& doc,
+                                            const Alphabet& input_tags,
+                                            const SelectionOutputTags& tags);
+
+/// Compiles the query to a deterministic (m+2)-pebble transducer over the
+/// encoded alphabets. `output_enc` must be built from an alphabet produced
+/// by ExtendAlphabetForSelection on `input_enc`'s tag alphabet.
+Result<PebbleTransducer> CompileSelectionQuery(
+    const SelectionQuery& query, const EncodedAlphabet& input_enc,
+    const EncodedAlphabet& output_enc, const SelectionOutputTags& tags);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_QUERY_SELECTION_H_

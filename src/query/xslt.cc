@@ -1,0 +1,434 @@
+#include "src/query/xslt.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/tree/encode.h"
+
+namespace pebbletc {
+
+namespace {
+
+class XsltParser {
+ public:
+  XsltParser(std::string_view text, Alphabet* input_tags,
+             Alphabet* output_tags)
+      : text_(text), input_tags_(input_tags), output_tags_(output_tags) {}
+
+  Result<XsltProgram> Parse() {
+    XsltProgram program;
+    while (!AtEnd()) {
+      PEBBLETC_ASSIGN_OR_RETURN(XsltTemplate tpl, ParseTemplate());
+      program.templates.push_back(std::move(tpl));
+    }
+    if (program.templates.empty()) {
+      return Status::ParseError("program declares no templates");
+    }
+    return program;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '#')) {
+      if (text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        ++pos_;
+      }
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Result<std::string> ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected name at offset " +
+                                std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<XsltTemplate> ParseTemplate() {
+    PEBBLETC_ASSIGN_OR_RETURN(std::string kw, ReadName());
+    if (kw != "template") {
+      return Status::ParseError("expected 'template', found '" + kw + "'");
+    }
+    XsltTemplate tpl;
+    PEBBLETC_ASSIGN_OR_RETURN(std::string match, ReadName());
+    tpl.match_tag = input_tags_->Intern(match);
+    if (!Consume('{')) return Status::ParseError("expected '{' after match");
+    // Body: a single element.
+    PEBBLETC_ASSIGN_OR_RETURN(std::string element, ReadName());
+    tpl.element_tag = output_tags_->Intern(element);
+    if (Consume('{')) {
+      if (!Consume('}')) {
+        while (true) {
+          PEBBLETC_ASSIGN_OR_RETURN(XsltItem item, ParseItem());
+          tpl.items.push_back(std::move(item));
+          if (Consume(';')) {
+            if (Consume('}')) break;  // trailing ';'
+            continue;
+          }
+          if (Consume('}')) break;
+          return Status::ParseError("expected ';' or '}' at offset " +
+                                    std::to_string(pos_));
+        }
+      }
+    }
+    if (!Consume('}')) return Status::ParseError("expected closing '}'");
+    return tpl;
+  }
+
+  Result<XsltItem> ParseItem() {
+    SkipSpace();
+    size_t save = pos_;
+    PEBBLETC_ASSIGN_OR_RETURN(std::string name, ReadName());
+    XsltItem item;
+    if (name == "apply") {
+      item.is_apply = true;
+      return item;
+    }
+    pos_ = save;
+    PEBBLETC_ASSIGN_OR_RETURN(NodeId root, ParseStaticNode(&item.literal));
+    item.literal.SetRoot(root);
+    return item;
+  }
+
+  // A static subtree: name or name{ static items }. `apply` is rejected.
+  Result<NodeId> ParseStaticNode(UnrankedTree* tree) {
+    PEBBLETC_ASSIGN_OR_RETURN(std::string name, ReadName());
+    if (name == "apply") {
+      return Status::ParseError(
+          "'apply' may only appear at the top level of a template body");
+    }
+    SymbolId tag = output_tags_->Intern(name);
+    std::vector<NodeId> kids;
+    if (Consume('{')) {
+      if (!Consume('}')) {
+        while (true) {
+          PEBBLETC_ASSIGN_OR_RETURN(NodeId child, ParseStaticNode(tree));
+          kids.push_back(child);
+          if (Consume(';')) {
+            if (Consume('}')) break;
+            continue;
+          }
+          if (Consume('}')) break;
+          return Status::ParseError("expected ';' or '}' at offset " +
+                                    std::to_string(pos_));
+        }
+      }
+    }
+    return tree->AddNode(tag, std::move(kids));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Alphabet* input_tags_;
+  Alphabet* output_tags_;
+};
+
+// Template index per input tag, or -1.
+std::vector<int64_t> TemplateIndex(const XsltProgram& program,
+                                   size_t num_tags) {
+  std::vector<int64_t> index(num_tags, -1);
+  for (size_t i = 0; i < program.templates.size(); ++i) {
+    SymbolId m = program.templates[i].match_tag;
+    if (m < num_tags && index[m] < 0) index[m] = static_cast<int64_t>(i);
+  }
+  return index;
+}
+
+NodeId CopyUnranked(const UnrankedTree& src, NodeId n, UnrankedTree* dst) {
+  std::vector<NodeId> kids;
+  for (NodeId c : src.children(n)) kids.push_back(CopyUnranked(src, c, dst));
+  return dst->AddNode(src.tag(n), std::move(kids));
+}
+
+Result<NodeId> Process(const XsltProgram& program,
+                       const std::vector<int64_t>& tpl_index,
+                       const UnrankedTree& input, NodeId node,
+                       const Alphabet& input_tags, UnrankedTree* out) {
+  SymbolId tag = input.tag(node);
+  if (tag >= tpl_index.size() || tpl_index[tag] < 0) {
+    return Status::NotFound("no template matches element '" +
+                            input_tags.Name(tag) + "'");
+  }
+  const XsltTemplate& tpl = program.templates[tpl_index[tag]];
+  std::vector<NodeId> kids;
+  for (const XsltItem& item : tpl.items) {
+    if (item.is_apply) {
+      for (NodeId c : input.children(node)) {
+        PEBBLETC_ASSIGN_OR_RETURN(
+            NodeId processed,
+            Process(program, tpl_index, input, c, input_tags, out));
+        kids.push_back(processed);
+      }
+    } else {
+      kids.push_back(CopyUnranked(item.literal, item.literal.root(), out));
+    }
+  }
+  return out->AddNode(tpl.element_tag, std::move(kids));
+}
+
+}  // namespace
+
+Result<XsltProgram> ParseXslt(std::string_view text, Alphabet* input_tags,
+                              Alphabet* output_tags) {
+  return XsltParser(text, input_tags, output_tags).Parse();
+}
+
+Result<UnrankedTree> ApplyXsltReference(const XsltProgram& program,
+                                        const UnrankedTree& input,
+                                        const Alphabet& input_tags) {
+  if (input.empty()) return Status::InvalidArgument("empty input");
+  std::vector<int64_t> tpl_index =
+      TemplateIndex(program, input_tags.size());
+  UnrankedTree out;
+  PEBBLETC_ASSIGN_OR_RETURN(
+      NodeId root,
+      Process(program, tpl_index, input, input.root(), input_tags, &out));
+  out.SetRoot(root);
+  return out;
+}
+
+namespace {
+
+// The transducer generator. See the design notes in xslt.h: a deterministic
+// 1-pebble machine whose branches walk the encoded child spines; `climb`
+// states return from a finished child list to the context node when output
+// follows an `apply`.
+class XsltCompiler {
+ public:
+  XsltCompiler(const XsltProgram& program, const EncodedAlphabet& in,
+               const EncodedAlphabet& out)
+      : program_(program),
+        in_(in),
+        out_(out),
+        t_(1, static_cast<uint32_t>(in.ranked.size()),
+           static_cast<uint32_t>(out.ranked.size())) {}
+
+  Result<PebbleTransducer> Compile() {
+    const size_t num_tags = in_.tag_symbol.size();
+    tpl_index_ = TemplateIndex(program_, num_tags);
+    for (SymbolId tag = 0; tag < num_tags; ++tag) {
+      if (tpl_index_[tag] < 0) {
+        return Status::InvalidArgument(
+            "template coverage is not total: no rule for an input tag");
+      }
+    }
+
+    nil_out_ = t_.AddState(1);
+    t_.AddOutputLeaf({}, nil_out_, out_.nil);
+    dispatch_ = t_.AddState(1);
+    head_desc_ = t_.AddState(1);
+    t_.AddMove({}, head_desc_, PebbleTransducer::MoveKind::kDownLeft,
+               dispatch_);
+
+    // Entry states first so dispatch and cross-template walks can refer to
+    // them; bodies are generated afterwards.
+    entry_.resize(program_.templates.size());
+    for (size_t i = 0; i < program_.templates.size(); ++i) {
+      entry_[i] = t_.AddState(1);
+    }
+    for (SymbolId tag = 0; tag < num_tags; ++tag) {
+      t_.AddMove({.symbol = in_.tag_symbol[tag]}, dispatch_,
+                 PebbleTransducer::MoveKind::kStay,
+                 entry_[tpl_index_[tag]]);
+    }
+    for (size_t i = 0; i < program_.templates.size(); ++i) {
+      PEBBLETC_RETURN_IF_ERROR(GenerateTemplate(i));
+    }
+    t_.SetStart(dispatch_);
+    return std::move(t_);
+  }
+
+ private:
+  using M = PebbleTransducer::MoveKind;
+
+  // Emits the encoded form of a static literal; returns the state that
+  // starts the emission (input-independent).
+  Result<StateId> EmitStatic(const UnrankedTree& literal) {
+    PEBBLETC_ASSIGN_OR_RETURN(BinaryTree enc, EncodeTree(literal, out_));
+    // Children before parents: ascending NodeId is bottom-up.
+    std::vector<StateId> state(enc.size());
+    for (NodeId n = 0; n < enc.size(); ++n) {
+      state[n] = t_.AddState(1);
+      if (enc.IsLeaf(n)) {
+        t_.AddOutputLeaf({}, state[n], enc.symbol(n));
+      } else {
+        t_.AddOutputBinary({}, state[n], enc.symbol(n), state[enc.left(n)],
+                           state[enc.right(n)]);
+      }
+    }
+    return state[enc.root()];
+  }
+
+  // States that climb from inside a child spine (or its terminating node)
+  // back to the context element, then continue in `k`.
+  StateId ClimbThen(StateId k) {
+    StateId climb = t_.AddState(1);
+    StateId check = t_.AddState(1);
+    t_.AddMove({}, climb, M::kUpLeft, check);
+    t_.AddMove({}, climb, M::kUpRight, check);
+    t_.AddMove({.symbol = in_.cons}, check, M::kUpLeft, check);
+    t_.AddMove({.symbol = in_.cons}, check, M::kUpRight, check);
+    for (SymbolId tag_sym : in_.tag_symbol) {
+      t_.AddMove({.symbol = tag_sym}, check, M::kStay, k);
+    }
+    return climb;
+  }
+
+  Status GenerateTemplate(size_t tpl_idx) {
+    const XsltTemplate& tpl = program_.templates[tpl_idx];
+    const size_t p_count = tpl.items.size();
+    const SymbolId match_sym = in_.tag_symbol[tpl.match_tag];
+    const SymbolId element_sym = out_.tag_symbol[tpl.element_tag];
+
+    // remainder_has_static[p]: some item *strictly after* p is static.
+    std::vector<bool> remainder_has_static(p_count + 1, false);
+    for (size_t p = p_count; p-- > 0;) {
+      remainder_has_static[p] =
+          (p + 1 < p_count) &&
+          (remainder_has_static[p + 1] || !tpl.items[p + 1].is_apply);
+    }
+    bool any_static = false;
+    for (const XsltItem& item : tpl.items) {
+      any_static = any_static || !item.is_apply;
+    }
+
+    std::vector<StateId> static_state(p_count, 0);
+    for (size_t p = 0; p < p_count; ++p) {
+      if (!tpl.items[p].is_apply) {
+        PEBBLETC_ASSIGN_OR_RETURN(static_state[p],
+                                  EmitStatic(tpl.items[p].literal));
+      }
+    }
+
+    // Allocate Seq and Walk states; wire them from the last position back.
+    std::vector<StateId> seq(p_count, 0), walk(p_count, 0);
+    for (size_t p = 0; p < p_count; ++p) {
+      seq[p] = t_.AddState(1);
+      if (tpl.items[p].is_apply) walk[p] = t_.AddState(1);
+    }
+
+    for (size_t p = p_count; p-- > 0;) {
+      const bool is_last = (p + 1 == p_count);
+      if (!tpl.items[p].is_apply) {
+        // --- static item at Seq[p]; the pebble sits on the context node.
+        if (is_last) {
+          t_.AddMove({.symbol = match_sym}, seq[p], M::kStay,
+                     static_state[p]);
+        } else if (remainder_has_static[p]) {
+          t_.AddOutputBinary({.symbol = match_sym}, seq[p], out_.cons,
+                             static_state[p], seq[p + 1]);
+        } else {
+          // Remainder is all applies: probe whether the context node has
+          // children before committing to a cons cell.
+          StateId probe = t_.AddState(1);
+          t_.AddMove({.symbol = match_sym}, seq[p], M::kDownLeft, probe);
+          t_.AddMove({.symbol = in_.nil}, probe, M::kStay, static_state[p]);
+          t_.AddOutputBinary({.symbol = in_.cons}, probe, out_.cons,
+                             static_state[p], walk[p + 1]);
+          for (SymbolId tag_sym : in_.tag_symbol) {
+            t_.AddOutputBinary({.symbol = tag_sym}, probe, out_.cons,
+                               static_state[p], walk[p + 1]);
+          }
+        }
+      } else {
+        // --- apply item: Seq[p] descends into the child list; Walk[p]
+        // iterates the spine.
+        t_.AddMove({.symbol = match_sym}, seq[p], M::kDownLeft, walk[p]);
+        StateId w = walk[p];
+        // Empty child list: skip the apply (only reachable when something
+        // static follows — otherwise an earlier probe ruled this out).
+        if (!is_last) {
+          t_.AddMove({.symbol = in_.nil}, w, M::kStay,
+                     ClimbThen(seq[p + 1]));
+        }
+        // Interior spine node: emit a cell for the head, continue right.
+        {
+          StateId tail = t_.AddState(1);
+          t_.AddMove({}, tail, M::kDownRight, w);
+          t_.AddOutputBinary({.symbol = in_.cons}, w, out_.cons, head_desc_,
+                             tail);
+        }
+        // Last child (a tag node terminates the spine).
+        if (is_last) {
+          for (SymbolId tag_sym : in_.tag_symbol) {
+            t_.AddMove({.symbol = tag_sym}, w, M::kStay, dispatch_);
+          }
+        } else {
+          StateId climb = ClimbThen(seq[p + 1]);
+          for (SymbolId tag_sym : in_.tag_symbol) {
+            t_.AddOutputBinary({.symbol = tag_sym}, w, out_.cons, dispatch_,
+                               climb);
+          }
+        }
+      }
+    }
+
+    // --- entry state.
+    if (p_count == 0) {
+      t_.AddOutputBinary({.symbol = match_sym}, entry_[tpl_idx], element_sym,
+                         nil_out_, nil_out_);
+    } else if (any_static) {
+      t_.AddOutputBinary({.symbol = match_sym}, entry_[tpl_idx], element_sym,
+                         seq[0], nil_out_);
+    } else {
+      // All items are applies: the element may come out empty.
+      StateId eprobe = t_.AddState(1);
+      t_.AddMove({.symbol = match_sym}, entry_[tpl_idx], M::kDownLeft,
+                 eprobe);
+      t_.AddOutputBinary({.symbol = in_.nil}, eprobe, element_sym, nil_out_,
+                         nil_out_);
+      t_.AddOutputBinary({.symbol = in_.cons}, eprobe, element_sym, walk[0],
+                         nil_out_);
+      for (SymbolId tag_sym : in_.tag_symbol) {
+        t_.AddOutputBinary({.symbol = tag_sym}, eprobe, element_sym, walk[0],
+                           nil_out_);
+      }
+    }
+    return Status::OK();
+  }
+
+  const XsltProgram& program_;
+  const EncodedAlphabet& in_;
+  const EncodedAlphabet& out_;
+  PebbleTransducer t_;
+  std::vector<int64_t> tpl_index_;
+  std::vector<StateId> entry_;
+  StateId nil_out_ = 0;
+  StateId dispatch_ = 0;
+  StateId head_desc_ = 0;
+};
+
+}  // namespace
+
+Result<PebbleTransducer> CompileXslt(const XsltProgram& program,
+                                     const EncodedAlphabet& input_enc,
+                                     const EncodedAlphabet& output_enc) {
+  return XsltCompiler(program, input_enc, output_enc).Compile();
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,76 @@
+// An XSLT fragment (Sections 1, 3.2, Example 4.3): template rules matched by
+// element tag, with bodies built from literal elements and apply-templates.
+// Expressive enough for the paper's query Q2 (Example 4.3), which maps
+// <root> a^n </root> to <result> b a^n b a^n b a^n </result>.
+//
+// Fragment shape (restrictions documented where they matter):
+//   * one template per input tag; template coverage must be total over the
+//     input alphabet (every tag reachable in a document needs a rule);
+//   * a template body is a single literal element whose child list mixes
+//     literal *static* subtrees and `apply` items;
+//   * `apply` processes all children of the current node, in order, each by
+//     its matching template (XSLT's <xsl:apply-templates/>);
+//   * static subtrees contain no nested `apply`.
+//
+// Concrete syntax:
+//   template root { result { b; apply; b; apply; b; apply } }
+//   template a    { a }
+//
+// CompileXslt produces a deterministic 1-pebble transducer on encoded
+// trees. When no template has output following an `apply`, the machine is
+// downward (src/core/downward.h typechecks it completely); bodies with
+// output after an `apply` need up-moves (climbing back from the child list),
+// which Example 4.3's Q2 exercises.
+
+#ifndef PEBBLETC_QUERY_XSLT_H_
+#define PEBBLETC_QUERY_XSLT_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/pt/transducer.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+struct XsltItem {
+  bool is_apply = false;
+  /// For static items: a literal subtree over the output tag alphabet.
+  UnrankedTree literal;
+};
+
+struct XsltTemplate {
+  SymbolId match_tag;    ///< input tag this template fires on
+  SymbolId element_tag;  ///< output tag of the body's root element
+  std::vector<XsltItem> items;
+};
+
+struct XsltProgram {
+  std::vector<XsltTemplate> templates;
+};
+
+/// Parses the concrete syntax. Input tags (template heads) are interned into
+/// `*input_tags`; output element names into `*output_tags`.
+Result<XsltProgram> ParseXslt(std::string_view text, Alphabet* input_tags,
+                              Alphabet* output_tags);
+
+/// Reference semantics: applies the program to an unranked document
+/// (processing starts at the root with its matching template). Fails if a
+/// processed node has no template.
+Result<UnrankedTree> ApplyXsltReference(const XsltProgram& program,
+                                        const UnrankedTree& input,
+                                        const Alphabet& input_tags);
+
+/// Compiles to a deterministic 1-pebble transducer over the encoded
+/// alphabets. Fails unless template coverage is total over `input_enc`'s
+/// tags.
+Result<PebbleTransducer> CompileXslt(const XsltProgram& program,
+                                     const EncodedAlphabet& input_enc,
+                                     const EncodedAlphabet& output_enc);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_QUERY_XSLT_H_

@@ -1,0 +1,289 @@
+#include "src/regex/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <utility>
+
+namespace pebbletc {
+
+Dfa::Dfa(uint32_t num_states, uint32_t num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      accepting_(num_states, false),
+      table_(static_cast<size_t>(num_states) * num_symbols, 0) {
+  PEBBLETC_CHECK(num_states > 0) << "DFA needs at least one state";
+}
+
+bool Dfa::Accepts(const std::vector<SymbolId>& word) const {
+  StateId q = start_;
+  for (SymbolId a : word) q = Next(q, a);
+  return accepting_[q];
+}
+
+std::vector<bool> Dfa::LiveStates() const {
+  // Reverse reachability from accepting states.
+  std::vector<std::vector<StateId>> rev(num_states_);
+  for (StateId q = 0; q < num_states_; ++q) {
+    for (SymbolId a = 0; a < num_symbols_; ++a) {
+      rev[Next(q, a)].push_back(q);
+    }
+  }
+  std::vector<bool> live(num_states_, false);
+  std::vector<StateId> work;
+  for (StateId q = 0; q < num_states_; ++q) {
+    if (accepting_[q]) {
+      live[q] = true;
+      work.push_back(q);
+    }
+  }
+  while (!work.empty()) {
+    StateId q = work.back();
+    work.pop_back();
+    for (StateId p : rev[q]) {
+      if (!live[p]) {
+        live[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return live;
+}
+
+namespace {
+
+// Sorted-unique subset of NFA states with its ε-closure applied.
+using Subset = std::vector<StateId>;
+
+void Close(const Nfa& nfa, Subset* set) {
+  std::vector<bool> in_set(nfa.num_states, false);
+  for (StateId q : *set) in_set[q] = true;
+  std::vector<StateId> work(*set);
+  while (!work.empty()) {
+    StateId q = work.back();
+    work.pop_back();
+    for (StateId p : nfa.epsilon[q]) {
+      if (!in_set[p]) {
+        in_set[p] = true;
+        set->push_back(p);
+        work.push_back(p);
+      }
+    }
+  }
+  std::sort(set->begin(), set->end());
+}
+
+}  // namespace
+
+Dfa Determinize(const Nfa& nfa) {
+  PEBBLETC_CHECK(nfa.num_states > 0) << "empty NFA";
+  std::map<Subset, StateId> index;
+  std::vector<Subset> subsets;
+  auto intern = [&](Subset s) -> StateId {
+    auto [it, inserted] = index.emplace(std::move(s), subsets.size());
+    if (inserted) subsets.push_back(it->first);
+    return it->second;
+  };
+
+  Subset init = {nfa.start};
+  Close(nfa, &init);
+  StateId start = intern(std::move(init));
+
+  // Rows of the transition table, built as subsets are discovered.
+  std::vector<std::vector<StateId>> rows;
+  std::vector<bool> acc;
+  for (StateId q = 0; q < subsets.size(); ++q) {
+    const Subset current = subsets[q];  // copy: subsets may grow
+    bool a = false;
+    for (StateId s : current) a = a || nfa.accepting[s];
+    acc.push_back(a);
+    std::vector<StateId> row(nfa.num_symbols);
+    for (SymbolId sym = 0; sym < nfa.num_symbols; ++sym) {
+      Subset next;
+      std::vector<bool> seen(nfa.num_states, false);
+      for (StateId s : current) {
+        for (const auto& [tsym, to] : nfa.transitions[s]) {
+          if (tsym == sym && !seen[to]) {
+            seen[to] = true;
+            next.push_back(to);
+          }
+        }
+      }
+      Close(nfa, &next);
+      row[sym] = intern(std::move(next));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa dfa(static_cast<uint32_t>(subsets.size()),
+          nfa.num_symbols == 0 ? 1 : nfa.num_symbols);
+  dfa.set_start(start);
+  for (StateId q = 0; q < rows.size(); ++q) {
+    dfa.set_accepting(q, acc[q]);
+    for (SymbolId sym = 0; sym < nfa.num_symbols; ++sym) {
+      dfa.SetNext(q, sym, rows[q][sym]);
+    }
+  }
+  return dfa;
+}
+
+Dfa Minimize(const Dfa& dfa) {
+  const uint32_t n = dfa.num_states();
+  const uint32_t k = dfa.num_symbols();
+
+  // Restrict to reachable states first.
+  std::vector<StateId> order;
+  std::vector<int64_t> reach_index(n, -1);
+  order.push_back(dfa.start());
+  reach_index[dfa.start()] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (SymbolId a = 0; a < k; ++a) {
+      StateId t = dfa.Next(order[i], a);
+      if (reach_index[t] < 0) {
+        reach_index[t] = static_cast<int64_t>(order.size());
+        order.push_back(t);
+      }
+    }
+  }
+  const uint32_t m = static_cast<uint32_t>(order.size());
+
+  // Moore refinement over reachable states: block id per state, refined until
+  // stable. Initial partition: accepting vs non-accepting.
+  std::vector<uint32_t> block(m);
+  for (uint32_t i = 0; i < m; ++i) block[i] = dfa.accepting(order[i]) ? 1 : 0;
+  uint32_t num_blocks = 2;
+  for (bool changed = true; changed;) {
+    changed = false;
+    // Signature: (current block, successor blocks per symbol).
+    std::map<std::vector<uint32_t>, uint32_t> sig_index;
+    std::vector<uint32_t> new_block(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      std::vector<uint32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(block[i]);
+      for (SymbolId a = 0; a < k; ++a) {
+        StateId t = dfa.Next(order[i], a);
+        sig.push_back(block[reach_index[t]]);
+      }
+      auto [it, inserted] =
+          sig_index.emplace(std::move(sig), static_cast<uint32_t>(sig_index.size()));
+      new_block[i] = it->second;
+      (void)inserted;
+    }
+    if (sig_index.size() != num_blocks) changed = true;
+    num_blocks = static_cast<uint32_t>(sig_index.size());
+    block = std::move(new_block);
+  }
+
+  Dfa out(num_blocks, k);
+  out.set_start(block[0]);  // order[0] == start
+  for (uint32_t i = 0; i < m; ++i) {
+    out.set_accepting(block[i], dfa.accepting(order[i]));
+    for (SymbolId a = 0; a < k; ++a) {
+      out.SetNext(block[i], a, block[reach_index[dfa.Next(order[i], a)]]);
+    }
+  }
+  return out;
+}
+
+Dfa CompileRegexToDfa(const RegexPtr& regex, uint32_t num_symbols) {
+  return Minimize(Determinize(CompileRegexToNfa(regex, num_symbols)));
+}
+
+Dfa Complement(const Dfa& dfa) {
+  Dfa out = dfa;
+  for (StateId q = 0; q < out.num_states(); ++q) {
+    out.set_accepting(q, !out.accepting(q));
+  }
+  return out;
+}
+
+Dfa Product(const Dfa& a, const Dfa& b, BoolOp op) {
+  PEBBLETC_CHECK(a.num_symbols() == b.num_symbols())
+      << "product over mismatched alphabets";
+  const uint32_t k = a.num_symbols();
+  auto combine = [op](bool x, bool y) {
+    switch (op) {
+      case BoolOp::kAnd:
+        return x && y;
+      case BoolOp::kOr:
+        return x || y;
+      case BoolOp::kDiff:
+        return x && !y;
+    }
+    return false;
+  };
+  // Lazy pairing of reachable state pairs.
+  std::map<std::pair<StateId, StateId>, StateId> index;
+  std::vector<std::pair<StateId, StateId>> pairs;
+  auto intern = [&](StateId x, StateId y) -> StateId {
+    auto [it, inserted] = index.emplace(std::make_pair(x, y), pairs.size());
+    if (inserted) pairs.push_back({x, y});
+    return it->second;
+  };
+  StateId start = intern(a.start(), b.start());
+  std::vector<std::vector<StateId>> rows;
+  for (StateId q = 0; q < pairs.size(); ++q) {
+    auto [x, y] = pairs[q];
+    std::vector<StateId> row(k);
+    for (SymbolId s = 0; s < k; ++s) row[s] = intern(a.Next(x, s), b.Next(y, s));
+    rows.push_back(std::move(row));
+  }
+  Dfa out(static_cast<uint32_t>(pairs.size()), k);
+  out.set_start(start);
+  for (StateId q = 0; q < pairs.size(); ++q) {
+    out.set_accepting(q, combine(a.accepting(pairs[q].first),
+                                 b.accepting(pairs[q].second)));
+    for (SymbolId s = 0; s < k; ++s) out.SetNext(q, s, rows[q][s]);
+  }
+  return out;
+}
+
+bool IsEmptyLanguage(const Dfa& dfa) {
+  std::vector<bool> live = dfa.LiveStates();
+  return !live[dfa.start()];
+}
+
+std::optional<std::vector<SymbolId>> ShortestAccepted(const Dfa& dfa) {
+  // BFS from the start state, remembering the (state, symbol) predecessor.
+  std::vector<int64_t> pred_state(dfa.num_states(), -1);
+  std::vector<SymbolId> pred_symbol(dfa.num_states(), kNoSymbol);
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::deque<StateId> queue = {dfa.start()};
+  seen[dfa.start()] = true;
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    if (dfa.accepting(q)) {
+      std::vector<SymbolId> word;
+      StateId cur = q;
+      while (pred_state[cur] >= 0) {
+        word.push_back(pred_symbol[cur]);
+        cur = static_cast<StateId>(pred_state[cur]);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (SymbolId a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(q, a);
+      if (!seen[t]) {
+        seen[t] = true;
+        pred_state[t] = q;
+        pred_symbol[t] = a;
+        queue.push_back(t);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Includes(const Dfa& b, const Dfa& a) {
+  return IsEmptyLanguage(Product(a, b, BoolOp::kDiff));
+}
+
+bool EquivalentLanguages(const Dfa& a, const Dfa& b) {
+  return Includes(b, a) && Includes(a, b);
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,78 @@
+#include "src/regex/path_expr.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pebbletc {
+
+namespace {
+
+SymbolId Label(const UnrankedTree& tree, NodeId n) { return tree.tag(n); }
+SymbolId Label(const BinaryTree& tree, NodeId n) { return tree.symbol(n); }
+
+template <typename Tree, typename ChildrenFn>
+std::vector<NodeId> EvalGeneric(const Tree& tree, NodeId origin, const Dfa& dfa,
+                                ChildrenFn&& children_of) {
+  std::vector<NodeId> out;
+  if (tree.empty()) return out;
+  const std::vector<bool> live = dfa.LiveStates();
+  // DFS carrying the DFA state *after* consuming the node's own label.
+  std::vector<std::pair<NodeId, StateId>> stack;
+  stack.push_back({origin, dfa.start()});
+  while (!stack.empty()) {
+    auto [node, state_before] = stack.back();
+    stack.pop_back();
+    StateId state = dfa.Next(state_before, Label(tree, node));
+    if (dfa.accepting(state)) out.push_back(node);
+    if (!live[state]) continue;  // no extension of this path can accept
+    children_of(node, [&](NodeId child) { stack.push_back({child, state}); });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> EvalPathFrom(const UnrankedTree& tree, NodeId origin,
+                                 const Dfa& dfa) {
+  return EvalGeneric(tree, origin, dfa, [&](NodeId n, auto&& push) {
+    for (NodeId c : tree.children(n)) push(c);
+  });
+}
+
+std::vector<NodeId> EvalPath(const UnrankedTree& tree, const Dfa& dfa) {
+  if (tree.empty()) return {};
+  return EvalPathFrom(tree, tree.root(), dfa);
+}
+
+std::vector<NodeId> EvalPathBinaryFrom(const BinaryTree& tree, NodeId origin,
+                                       const Dfa& dfa) {
+  return EvalGeneric(tree, origin, dfa, [&](NodeId n, auto&& push) {
+    if (!tree.IsLeaf(n)) {
+      push(tree.left(n));
+      push(tree.right(n));
+    }
+  });
+}
+
+std::vector<NodeId> EvalPathBinary(const BinaryTree& tree, const Dfa& dfa) {
+  if (tree.empty()) return {};
+  return EvalPathBinaryFrom(tree, tree.root(), dfa);
+}
+
+Result<Dfa> TranslatePathExpression(const RegexPtr& r,
+                                    const EncodedAlphabet& enc) {
+  const uint32_t num_tags = static_cast<uint32_t>(enc.tag_symbol.size());
+  if (num_tags == 0) {
+    return Status::InvalidArgument("encoded alphabet has no tags");
+  }
+  Nfa over_tags = CompileRegexToNfa(r, num_tags);
+  // Remap unranked tag ids to their ranked counterparts and widen the
+  // alphabet to all of Σ′.
+  Nfa remapped = RemapSymbols(over_tags, enc.tag_symbol,
+                              static_cast<uint32_t>(enc.ranked.size()));
+  Nfa translated = InsertSeparators(remapped, enc.cons);
+  return Minimize(Determinize(translated));
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,50 @@
+// (Regular) path expressions and their evaluation on trees (Section 2.1).
+//
+// A path expression is a regular expression r over the tag alphabet Σ;
+// eval(r, t) is the set of nodes reachable from the root along a downward
+// path whose labels (including both endpoints) spell a word of lang(r).
+// `TranslatePathExpression` lifts r to the encoded alphabet Σ′ such that
+//   eval(translate(r), encode(t)) = { encode(x) | x ∈ eval(r, t) },
+// the commuting property the paper uses to reduce the unranked case to
+// binary trees.
+
+#ifndef PEBBLETC_REGEX_PATH_EXPR_H_
+#define PEBBLETC_REGEX_PATH_EXPR_H_
+
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/regex/dfa.h"
+#include "src/regex/regex.h"
+#include "src/tree/binary_tree.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+/// Evaluates a path expression (compiled to `dfa`, over tag ids) on an
+/// unranked tree: returns all nodes x such that the label word along the
+/// root-to-x path is accepted. Results are in ascending NodeId order.
+std::vector<NodeId> EvalPath(const UnrankedTree& tree, const Dfa& dfa);
+
+/// Same for a binary tree; `dfa` ranges over the ranked symbol ids.
+std::vector<NodeId> EvalPathBinary(const BinaryTree& tree, const Dfa& dfa);
+
+/// Evaluates relative to `origin`: paths start at `origin` instead of the
+/// root (used by pattern matching, where conditions have the form
+/// x_j ∈ eval(r, x_i)).
+std::vector<NodeId> EvalPathFrom(const UnrankedTree& tree, NodeId origin,
+                                 const Dfa& dfa);
+std::vector<NodeId> EvalPathBinaryFrom(const BinaryTree& tree, NodeId origin,
+                                       const Dfa& dfa);
+
+/// The Section 2.1 translation: compiles `r` (over unranked tag ids) into a
+/// minimal DFA over `enc.ranked` symbol ids accepting translate(r), i.e.
+/// lang(r) with any number of `-` symbols interleaved strictly between
+/// consecutive tags.
+Result<Dfa> TranslatePathExpression(const RegexPtr& r,
+                                    const EncodedAlphabet& enc);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_REGEX_PATH_EXPR_H_

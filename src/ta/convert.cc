@@ -1,0 +1,57 @@
+#include "src/ta/convert.h"
+
+namespace pebbletc {
+
+Nbta TopDownToNbta(const TopDownTA& input) {
+  const TopDownTA a = EliminateSilentTransitions(input);
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) out.AddState();
+  if (a.num_states == 0) out.AddState();  // keep downstream invariants
+  if (a.start < out.num_states) out.accepting[a.start] = true;
+  for (const TopDownTA::FinalPair& f : a.final_pairs) {
+    out.AddLeafRule(f.symbol, f.state);
+  }
+  for (const TopDownTA::BinaryRule& r : a.rules) {
+    out.AddRule(r.symbol, r.left, r.right, r.from);
+  }
+  return out;
+}
+
+TopDownTA NbtaToTopDown(const Nbta& a) {
+  TopDownTA out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) out.AddState();
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    out.AddFinalPair(r.symbol, r.to);
+  }
+  for (const Nbta::BinaryRule& r : a.rules) {
+    out.AddRule(r.symbol, r.to, r.left, r.right);
+  }
+
+  // Start state: reuse a unique accepting state, otherwise synthesize one
+  // mirroring every accepting state's rules.
+  StateId unique_accepting = kNoSymbol;
+  size_t num_accepting = 0;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q]) {
+      unique_accepting = q;
+      ++num_accepting;
+    }
+  }
+  if (num_accepting == 1) {
+    out.start = unique_accepting;
+  } else {
+    StateId fresh = out.AddState();
+    out.start = fresh;
+    for (const Nbta::LeafRule& r : a.leaf_rules) {
+      if (a.accepting[r.to]) out.AddFinalPair(r.symbol, fresh);
+    }
+    for (const Nbta::BinaryRule& r : a.rules) {
+      if (a.accepting[r.to]) out.AddRule(r.symbol, fresh, r.left, r.right);
+    }
+  }
+  return out;
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,23 @@
+// Conversions between top-down (Def. 2.1) and bottom-up tree automata.
+// The two formalisms are expressively equivalent (Section 2.3); these
+// conversions are exact (no language change) and size-linear.
+
+#ifndef PEBBLETC_TA_CONVERT_H_
+#define PEBBLETC_TA_CONVERT_H_
+
+#include "src/ta/nbta.h"
+#include "src/ta/topdown.h"
+
+namespace pebbletc {
+
+/// Reverses the transition arrows: inst(result) = inst(a). Silent
+/// transitions are eliminated first (Section 2.3 construction).
+Nbta TopDownToNbta(const TopDownTA& a);
+
+/// Reverses back. If `a` has several accepting states a fresh start state is
+/// introduced that mirrors their rules.
+TopDownTA NbtaToTopDown(const Nbta& a);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_CONVERT_H_

@@ -1,0 +1,25 @@
+// Enumeration of the trees accepted by a bottom-up automaton, smallest
+// first. Used to enumerate transducer outputs T(t) via the Prop. 3.8
+// automaton A_t, and by the bounded counterexample search of the typechecker.
+
+#ifndef PEBBLETC_TA_ENUMERATE_H_
+#define PEBBLETC_TA_ENUMERATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ta/nbta.h"
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+/// Returns distinct accepted trees with at most `max_nodes` nodes, ordered by
+/// node count (ties in unspecified but deterministic order), stopping after
+/// `max_count` trees. The enumeration is exact: it returns *all* accepted
+/// trees within the bounds unless truncated by `max_count`.
+std::vector<BinaryTree> EnumerateAcceptedTrees(const Nbta& a, size_t max_nodes,
+                                               size_t max_count);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_ENUMERATE_H_

@@ -1,0 +1,718 @@
+#include "src/ta/nbta.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+Status Nbta::Validate(const RankedAlphabet& alphabet) const {
+  if (num_symbols != alphabet.size()) {
+    return Status::InvalidArgument("num_symbols does not match the alphabet");
+  }
+  if (accepting.size() != num_states) {
+    return Status::InvalidArgument("accepting vector size mismatch");
+  }
+  for (const LeafRule& r : leaf_rules) {
+    if (r.to >= num_states || r.symbol >= num_symbols) {
+      return Status::InvalidArgument("leaf rule out of range");
+    }
+    if (alphabet.Rank(r.symbol) != 0) {
+      return Status::InvalidArgument("leaf rule on binary symbol '" +
+                                     alphabet.Name(r.symbol) + "'");
+    }
+  }
+  for (const BinaryRule& r : rules) {
+    if (r.to >= num_states || r.left >= num_states || r.right >= num_states ||
+        r.symbol >= num_symbols) {
+      return Status::InvalidArgument("binary rule out of range");
+    }
+    if (alphabet.Rank(r.symbol) != 2) {
+      return Status::InvalidArgument("binary rule on leaf symbol '" +
+                                     alphabet.Name(r.symbol) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<bool>> Nbta::RunStates(const BinaryTree& tree) const {
+  // Children are always created before parents, so ascending NodeId order is
+  // a valid bottom-up evaluation order.
+  std::vector<std::vector<bool>> states(tree.size(),
+                                        std::vector<bool>(num_states, false));
+  // Index rules by symbol once.
+  std::vector<std::vector<const BinaryRule*>> by_symbol(num_symbols);
+  for (const BinaryRule& r : rules) by_symbol[r.symbol].push_back(&r);
+  std::vector<std::vector<StateId>> leaf_by_symbol(num_symbols);
+  for (const LeafRule& r : leaf_rules) leaf_by_symbol[r.symbol].push_back(r.to);
+
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    const SymbolId sym = tree.symbol(n);
+    if (tree.IsLeaf(n)) {
+      for (StateId q : leaf_by_symbol[sym]) states[n][q] = true;
+    } else {
+      const auto& ls = states[tree.left(n)];
+      const auto& rs = states[tree.right(n)];
+      for (const BinaryRule* r : by_symbol[sym]) {
+        if (ls[r->left] && rs[r->right]) states[n][r->to] = true;
+      }
+    }
+  }
+  return states;
+}
+
+bool Nbta::Accepts(const BinaryTree& tree) const {
+  if (tree.empty()) return false;
+  std::vector<std::vector<bool>> states = RunStates(tree);
+  const auto& root_states = states[tree.root()];
+  for (StateId q = 0; q < num_states; ++q) {
+    if (root_states[q] && accepting[q]) return true;
+  }
+  return false;
+}
+
+Dbta::Dbta(uint32_t num_states, uint32_t num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      accepting_(num_states, false),
+      leaf_(num_symbols, 0),
+      table_(static_cast<size_t>(num_symbols) * num_states * num_states, 0) {
+  PEBBLETC_CHECK(num_states > 0) << "DBTA needs at least one state";
+}
+
+StateId Dbta::Eval(const BinaryTree& tree) const {
+  PEBBLETC_CHECK(!tree.empty()) << "Eval on empty tree";
+  std::vector<StateId> state(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    state[n] = tree.IsLeaf(n)
+                   ? LeafState(tree.symbol(n))
+                   : Next(tree.symbol(n), state[tree.left(n)],
+                          state[tree.right(n)]);
+  }
+  return state[tree.root()];
+}
+
+Nbta Dbta::ToNbta(const RankedAlphabet& alphabet) const {
+  PEBBLETC_CHECK(alphabet.size() == num_symbols_) << "alphabet mismatch";
+  Nbta out;
+  out.num_symbols = num_symbols_;
+  for (StateId q = 0; q < num_states_; ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = accepting_[q];
+  }
+  for (SymbolId a : alphabet.LeafSymbols()) out.AddLeafRule(a, leaf_[a]);
+  for (SymbolId a : alphabet.BinarySymbols()) {
+    for (StateId l = 0; l < num_states_; ++l) {
+      for (StateId r = 0; r < num_states_; ++r) {
+        out.AddRule(a, l, r, Next(a, l, r));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+using Subset = std::vector<StateId>;  // sorted, unique
+
+}  // namespace
+
+Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
+                             size_t max_states) {
+  if (alphabet.size() != a.num_symbols) {
+    return Status::InvalidArgument("alphabet size mismatch in determinize");
+  }
+  // Rule index: by symbol, then by left state: (right, to).
+  std::vector<std::vector<std::vector<std::pair<StateId, StateId>>>> idx(
+      a.num_symbols);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    idx[s].assign(a.num_states, {});
+  }
+  for (const Nbta::BinaryRule& r : a.rules) {
+    idx[r.symbol][r.left].push_back({r.right, r.to});
+  }
+
+  std::map<Subset, StateId> index;
+  std::vector<Subset> subsets;
+  auto intern = [&](Subset s) -> StateId {
+    auto [it, inserted] = index.emplace(std::move(s), subsets.size());
+    if (inserted) subsets.push_back(it->first);
+    return it->second;
+  };
+
+  // Leaf subsets.
+  std::vector<Subset> leaf_subset(a.num_symbols);
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    leaf_subset[r.symbol].push_back(r.to);
+  }
+  std::vector<StateId> leaf_state(a.num_symbols);
+  intern({});  // ensure the empty (sink) subset exists as state 0
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    Subset set = leaf_subset[s];
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    leaf_state[s] = intern(std::move(set));
+  }
+
+  // Fixpoint over symbol × subset × subset. `table[sym]` is resized as the
+  // subset list grows; recomputation passes continue until no new subsets.
+  auto successor = [&](SymbolId sym, const Subset& s1,
+                       const Subset& s2) -> Subset {
+    std::vector<bool> in2(a.num_states, false);
+    for (StateId q : s2) in2[q] = true;
+    std::vector<bool> out_set(a.num_states, false);
+    Subset out;
+    for (StateId q1 : s1) {
+      for (const auto& [right, to] : idx[sym][q1]) {
+        if (in2[right] && !out_set[to]) {
+          out_set[to] = true;
+          out.push_back(to);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // transitions[(sym, i, j)] filled as discovered.
+  std::map<std::tuple<SymbolId, StateId, StateId>, StateId> trans;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t snapshot = subsets.size();
+    if (max_states != 0 && snapshot > max_states) {
+      return Status::ResourceExhausted(
+          "determinization exceeded state budget of " +
+          std::to_string(max_states));
+    }
+    for (SymbolId s = 0; s < a.num_symbols; ++s) {
+      if (idx[s].empty()) continue;
+      for (StateId i = 0; i < snapshot; ++i) {
+        for (StateId j = 0; j < snapshot; ++j) {
+          auto key = std::make_tuple(s, i, j);
+          if (trans.count(key)) continue;
+          StateId to = intern(successor(s, subsets[i], subsets[j]));
+          trans[key] = to;
+          if (subsets.size() > snapshot) changed = true;
+        }
+      }
+    }
+    if (subsets.size() > static_cast<size_t>(snapshot)) changed = true;
+  }
+
+  const size_t n = subsets.size();
+  if (max_states != 0 && n > max_states) {
+    return Status::ResourceExhausted(
+        "determinization exceeded state budget of " + std::to_string(max_states));
+  }
+  const size_t table_entries =
+      static_cast<size_t>(a.num_symbols) * n * n;
+  if (table_entries > (size_t{1} << 28)) {
+    return Status::ResourceExhausted(
+        "determinized transition table too large (" +
+        std::to_string(table_entries) + " entries)");
+  }
+
+  Dbta out(static_cast<uint32_t>(n), a.num_symbols);
+  for (StateId q = 0; q < n; ++q) {
+    bool acc = false;
+    for (StateId s : subsets[q]) acc = acc || a.accepting[s];
+    out.set_accepting(q, acc);
+  }
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    out.SetLeafState(s, leaf_state[s]);
+    for (StateId i = 0; i < n; ++i) {
+      for (StateId j = 0; j < n; ++j) {
+        auto it = trans.find(std::make_tuple(s, i, j));
+        // Symbols with no binary rules never fire; default to the sink (0).
+        out.SetNext(s, static_cast<StateId>(i), static_cast<StateId>(j),
+                    it == trans.end() ? 0 : it->second);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Nbta> ComplementNbta(const Nbta& a, const RankedAlphabet& alphabet,
+                            size_t max_states) {
+  PEBBLETC_ASSIGN_OR_RETURN(Dbta det, DeterminizeNbta(a, alphabet, max_states));
+  for (StateId q = 0; q < det.num_states(); ++q) {
+    det.set_accepting(q, !det.accepting(q));
+  }
+  return det.ToNbta(alphabet);
+}
+
+Nbta IntersectNbta(const Nbta& a, const Nbta& b) {
+  PEBBLETC_CHECK(a.num_symbols == b.num_symbols)
+      << "intersection over mismatched alphabets";
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+
+  // Discovered (inhabited) state pairs, worklist-driven.
+  std::map<std::pair<StateId, StateId>, StateId> index;
+  std::vector<std::pair<StateId, StateId>> worklist;
+  auto intern = [&](StateId x, StateId y) -> StateId {
+    auto [it, inserted] =
+        index.emplace(std::make_pair(x, y), out.num_states);
+    if (inserted) {
+      StateId id = out.AddState();
+      out.accepting[id] = a.accepting[x] && b.accepting[y];
+      worklist.push_back({x, y});
+    }
+    return it->second;
+  };
+
+  // Leaf pairs seed the worklist.
+  std::vector<std::vector<const Nbta::LeafRule*>> leaf_a(a.num_symbols),
+      leaf_b(b.num_symbols);
+  for (const auto& r : a.leaf_rules) leaf_a[r.symbol].push_back(&r);
+  for (const auto& r : b.leaf_rules) leaf_b[r.symbol].push_back(&r);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    for (const auto* ra : leaf_a[s]) {
+      for (const auto* rb : leaf_b[s]) {
+        out.AddLeafRule(s, intern(ra->to, rb->to));
+      }
+    }
+  }
+
+  // Rule indexes by child state, so each discovered pair only visits the
+  // rules that mention it.
+  std::vector<std::vector<uint32_t>> a_by_left(a.num_states),
+      a_by_right(a.num_states);
+  for (uint32_t i = 0; i < a.rules.size(); ++i) {
+    a_by_left[a.rules[i].left].push_back(i);
+    a_by_right[a.rules[i].right].push_back(i);
+  }
+  std::vector<std::vector<uint32_t>> b_by_left(b.num_states),
+      b_by_right(b.num_states);
+  for (uint32_t i = 0; i < b.rules.size(); ++i) {
+    b_by_left[b.rules[i].left].push_back(i);
+    b_by_right[b.rules[i].right].push_back(i);
+  }
+
+  // Each (a-rule, b-rule) combination is emitted at most once.
+  std::set<std::pair<uint32_t, uint32_t>> emitted;
+  auto try_emit = [&](uint32_t ia, uint32_t ib) {
+    const auto& ra = a.rules[ia];
+    const auto& rb = b.rules[ib];
+    if (ra.symbol != rb.symbol) return;
+    auto l = index.find({ra.left, rb.left});
+    if (l == index.end()) return;
+    auto r = index.find({ra.right, rb.right});
+    if (r == index.end()) return;
+    if (!emitted.emplace(ia, ib).second) return;
+    StateId to = intern(ra.to, rb.to);
+    out.AddRule(ra.symbol, l->second, r->second, to);
+  };
+
+  while (!worklist.empty()) {
+    auto [xa, xb] = worklist.back();
+    worklist.pop_back();
+    for (uint32_t ia : a_by_left[xa]) {
+      for (uint32_t ib : b_by_left[xb]) try_emit(ia, ib);
+    }
+    for (uint32_t ia : a_by_right[xa]) {
+      for (uint32_t ib : b_by_right[xb]) try_emit(ia, ib);
+    }
+  }
+  return out;
+}
+
+Nbta UnionNbta(const Nbta& a, const Nbta& b) {
+  PEBBLETC_CHECK(a.num_symbols == b.num_symbols)
+      << "union over mismatched alphabets";
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = a.accepting[q];
+  }
+  const StateId offset = a.num_states;
+  for (StateId q = 0; q < b.num_states; ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = b.accepting[q];
+  }
+  out.leaf_rules = a.leaf_rules;
+  out.rules = a.rules;
+  for (const auto& r : b.leaf_rules) {
+    out.AddLeafRule(r.symbol, r.to + offset);
+  }
+  for (const auto& r : b.rules) {
+    out.AddRule(r.symbol, r.left + offset, r.right + offset, r.to + offset);
+  }
+  return out;
+}
+
+namespace {
+
+// States inhabited by at least one tree.
+std::vector<bool> InhabitedStates(const Nbta& a) {
+  std::vector<bool> inhabited(a.num_states, false);
+  for (const auto& r : a.leaf_rules) inhabited[r.to] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& r : a.rules) {
+      if (!inhabited[r.to] && inhabited[r.left] && inhabited[r.right]) {
+        inhabited[r.to] = true;
+        changed = true;
+      }
+    }
+  }
+  return inhabited;
+}
+
+}  // namespace
+
+bool IsEmptyNbta(const Nbta& a) {
+  std::vector<bool> inhabited = InhabitedStates(a);
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (inhabited[q] && a.accepting[q]) return false;
+  }
+  return true;
+}
+
+std::optional<BinaryTree> WitnessTree(const Nbta& a) {
+  // Minimal witness sizes per state, Dijkstra-style over the hypergraph.
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> best(a.num_states, kInf);
+  // The realizing rule for each state: leaf (symbol) or binary (rule index).
+  std::vector<int64_t> via_leaf(a.num_states, -1);
+  std::vector<int64_t> via_rule(a.num_states, -1);
+
+  for (const auto& r : a.leaf_rules) {
+    if (best[r.to] > 1) {
+      best[r.to] = 1;
+      via_leaf[r.to] = r.symbol;
+      via_rule[r.to] = -1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < a.rules.size(); ++i) {
+      const auto& r = a.rules[i];
+      if (best[r.left] == kInf || best[r.right] == kInf) continue;
+      uint64_t cost = best[r.left] + best[r.right] + 1;
+      if (cost < best[r.to]) {
+        best[r.to] = cost;
+        via_rule[r.to] = static_cast<int64_t>(i);
+        via_leaf[r.to] = -1;
+        changed = true;
+      }
+    }
+  }
+
+  StateId target = kNoSymbol;
+  uint64_t target_size = kInf;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q] && best[q] < target_size) {
+      target_size = best[q];
+      target = q;
+    }
+  }
+  if (target == kNoSymbol) return std::nullopt;
+
+  BinaryTree tree;
+  // Build iteratively (post-order) from the recorded realizing rules.
+  struct Frame {
+    StateId state;
+    bool expanded;
+  };
+  std::vector<Frame> stack = {{target, false}};
+  std::vector<NodeId> results;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (via_rule[f.state] < 0) {
+      PEBBLETC_CHECK(via_leaf[f.state] >= 0) << "no realizing rule";
+      results.push_back(
+          tree.AddLeaf(static_cast<SymbolId>(via_leaf[f.state])));
+    } else if (!f.expanded) {
+      const auto& r = a.rules[via_rule[f.state]];
+      stack.push_back({f.state, true});
+      stack.push_back({r.right, false});
+      stack.push_back({r.left, false});
+    } else {
+      const auto& r = a.rules[via_rule[f.state]];
+      NodeId right = results.back();
+      results.pop_back();
+      NodeId left = results.back();
+      results.pop_back();
+      results.push_back(tree.AddInternal(r.symbol, left, right));
+    }
+  }
+  PEBBLETC_CHECK(results.size() == 1) << "witness stack imbalance";
+  tree.SetRoot(results.back());
+  return tree;
+}
+
+Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
+                          const RankedAlphabet& alphabet, size_t max_states) {
+  PEBBLETC_ASSIGN_OR_RETURN(Nbta not_super,
+                            ComplementNbta(super, alphabet, max_states));
+  return IsEmptyNbta(IntersectNbta(sub, not_super));
+}
+
+Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
+                            const RankedAlphabet& alphabet,
+                            size_t max_states) {
+  PEBBLETC_ASSIGN_OR_RETURN(bool ab, NbtaIncludes(b, a, alphabet, max_states));
+  if (!ab) return false;
+  return NbtaIncludes(a, b, alphabet, max_states);
+}
+
+Nbta TrimNbta(const Nbta& a) {
+  std::vector<bool> inhabited = InhabitedStates(a);
+  // Co-reachable: can contribute to an accepted run.
+  std::vector<bool> useful(a.num_states, false);
+  for (StateId q = 0; q < a.num_states; ++q) {
+    useful[q] = a.accepting[q] && inhabited[q];
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& r : a.rules) {
+      if (useful[r.to] && inhabited[r.left] && inhabited[r.right]) {
+        if (!useful[r.left]) {
+          useful[r.left] = true;
+          changed = true;
+        }
+        if (!useful[r.right]) {
+          useful[r.right] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<StateId> remap(a.num_states, kNoSymbol);
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (useful[q] && inhabited[q]) {
+      remap[q] = out.AddState();
+      out.accepting[remap[q]] = a.accepting[q];
+    }
+  }
+  for (const auto& r : a.leaf_rules) {
+    if (remap[r.to] != kNoSymbol) out.AddLeafRule(r.symbol, remap[r.to]);
+  }
+  for (const auto& r : a.rules) {
+    if (remap[r.to] != kNoSymbol && remap[r.left] != kNoSymbol &&
+        remap[r.right] != kNoSymbol) {
+      out.AddRule(r.symbol, remap[r.left], remap[r.right], remap[r.to]);
+    }
+  }
+  // Guarantee at least one state so downstream code can assume non-zero.
+  if (out.num_states == 0) out.AddState();
+  return out;
+}
+
+Nbta InverseRelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
+                        uint32_t new_num_symbols) {
+  Nbta out;
+  out.num_states = a.num_states;
+  out.accepting = a.accepting;
+  out.num_symbols = new_num_symbols;
+  // Index original rules by symbol.
+  std::vector<std::vector<const Nbta::LeafRule*>> leaf_by(a.num_symbols);
+  for (const auto& r : a.leaf_rules) leaf_by[r.symbol].push_back(&r);
+  std::vector<std::vector<const Nbta::BinaryRule*>> bin_by(a.num_symbols);
+  for (const auto& r : a.rules) bin_by[r.symbol].push_back(&r);
+  for (SymbolId big = 0; big < new_num_symbols; ++big) {
+    PEBBLETC_CHECK(big < map.size() && map[big] < a.num_symbols)
+        << "unmapped symbol " << big;
+    for (const auto* r : leaf_by[map[big]]) out.AddLeafRule(big, r->to);
+    for (const auto* r : bin_by[map[big]]) {
+      out.AddRule(big, r->left, r->right, r->to);
+    }
+  }
+  return out;
+}
+
+Nbta RelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
+                 uint32_t new_num_symbols) {
+  Nbta out;
+  out.num_states = a.num_states;
+  out.accepting = a.accepting;
+  out.num_symbols = new_num_symbols;
+  for (const auto& r : a.leaf_rules) {
+    PEBBLETC_CHECK(r.symbol < map.size() && map[r.symbol] < new_num_symbols)
+        << "unmapped symbol " << r.symbol;
+    out.AddLeafRule(map[r.symbol], r.to);
+  }
+  for (const auto& r : a.rules) {
+    PEBBLETC_CHECK(r.symbol < map.size() && map[r.symbol] < new_num_symbols)
+        << "unmapped symbol " << r.symbol;
+    out.AddRule(map[r.symbol], r.left, r.right, r.to);
+  }
+  return out;
+}
+
+Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet) {
+  if (alphabet.size() != d.num_symbols()) {
+    return Status::InvalidArgument("alphabet size mismatch in minimize");
+  }
+  const uint32_t n = d.num_states();
+
+  // Inhabited states (reachable bottom-up); everything else collapses into
+  // whatever block its signature lands in — harmless, but restricting keeps
+  // the refinement honest and the result canonical.
+  std::vector<bool> inhabited(n, false);
+  {
+    bool changed = true;
+    for (SymbolId a : alphabet.LeafSymbols()) inhabited[d.LeafState(a)] = true;
+    while (changed) {
+      changed = false;
+      for (SymbolId a : alphabet.BinarySymbols()) {
+        for (StateId l = 0; l < n; ++l) {
+          if (!inhabited[l]) continue;
+          for (StateId r = 0; r < n; ++r) {
+            if (!inhabited[r]) continue;
+            StateId to = d.Next(a, l, r);
+            if (!inhabited[to]) {
+              inhabited[to] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<StateId> live;  // inhabited states, dense order
+  std::vector<int64_t> live_index(n, -1);
+  for (StateId q = 0; q < n; ++q) {
+    if (inhabited[q]) {
+      live_index[q] = static_cast<int64_t>(live.size());
+      live.push_back(q);
+    }
+  }
+  const size_t m = live.size();
+  if (m == 0) {
+    // Empty language (no leaf symbols): a one-state reject automaton.
+    Dbta out(1, d.num_symbols());
+    return out;
+  }
+
+  // Moore refinement over inhabited states.
+  std::vector<uint32_t> block(m);
+  for (size_t i = 0; i < m; ++i) block[i] = d.accepting(live[i]) ? 1 : 0;
+  size_t num_blocks = 2;
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::map<std::vector<uint32_t>, uint32_t> sig_index;
+    std::vector<uint32_t> next_block(m);
+    for (size_t i = 0; i < m; ++i) {
+      std::vector<uint32_t> sig;
+      sig.push_back(block[i]);
+      for (SymbolId a : alphabet.BinarySymbols()) {
+        for (size_t j = 0; j < m; ++j) {
+          StateId as_left = d.Next(a, live[i], live[j]);
+          StateId as_right = d.Next(a, live[j], live[i]);
+          // Successors outside the inhabited set cannot occur in any run.
+          sig.push_back(live_index[as_left] < 0
+                            ? ~0u
+                            : block[live_index[as_left]]);
+          sig.push_back(live_index[as_right] < 0
+                            ? ~0u
+                            : block[live_index[as_right]]);
+        }
+      }
+      auto [it, inserted] = sig_index.emplace(
+          std::move(sig), static_cast<uint32_t>(sig_index.size()));
+      (void)inserted;
+      next_block[i] = it->second;
+    }
+    if (sig_index.size() != num_blocks) changed = true;
+    num_blocks = sig_index.size();
+    block = std::move(next_block);
+  }
+
+  // Emit blocks (+ a sink for transitions leaving the inhabited set). The
+  // sink may be unreachable; that is fine for a complete automaton.
+  const uint32_t sink = static_cast<uint32_t>(num_blocks);
+  Dbta out(static_cast<uint32_t>(num_blocks) + 1, d.num_symbols());
+  auto block_of = [&](StateId q) -> StateId {
+    return live_index[q] < 0 ? sink
+                             : static_cast<StateId>(block[live_index[q]]);
+  };
+  for (size_t i = 0; i < m; ++i) {
+    out.set_accepting(block[i], d.accepting(live[i]));
+  }
+  for (SymbolId a : alphabet.LeafSymbols()) {
+    out.SetLeafState(a, block_of(d.LeafState(a)));
+  }
+  // Representative per block for transition lookups.
+  std::vector<StateId> rep(num_blocks, 0);
+  for (size_t i = m; i-- > 0;) rep[block[i]] = live[i];
+  for (SymbolId a : alphabet.BinarySymbols()) {
+    for (uint32_t bi = 0; bi < num_blocks; ++bi) {
+      for (uint32_t bj = 0; bj < num_blocks; ++bj) {
+        out.SetNext(a, bi, bj, block_of(d.Next(a, rep[bi], rep[bj])));
+      }
+      out.SetNext(a, bi, sink, sink);
+      out.SetNext(a, sink, bi, sink);
+    }
+    out.SetNext(a, sink, sink, sink);
+  }
+  return out;
+}
+
+Nbta UniversalNbta(const RankedAlphabet& alphabet) {
+  Nbta out;
+  out.num_symbols = static_cast<uint32_t>(alphabet.size());
+  StateId q = out.AddState();
+  out.accepting[q] = true;
+  for (SymbolId a : alphabet.LeafSymbols()) out.AddLeafRule(a, q);
+  for (SymbolId a : alphabet.BinarySymbols()) out.AddRule(a, q, q, q);
+  return out;
+}
+
+Nbta EmptyLanguageNbta(const RankedAlphabet& alphabet) {
+  Nbta out;
+  out.num_symbols = static_cast<uint32_t>(alphabet.size());
+  out.AddState();  // inert, non-accepting
+  return out;
+}
+
+uint64_t CountAcceptedTrees(const Nbta& a, size_t num_nodes) {
+  if (num_nodes == 0 || num_nodes % 2 == 0) return 0;
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  auto sat_add = [](uint64_t x, uint64_t y) {
+    return (x > kMax - y) ? kMax : x + y;
+  };
+  auto sat_mul = [](uint64_t x, uint64_t y) -> uint64_t {
+    if (x == 0 || y == 0) return 0;
+    if (x > kMax / y) return kMax;
+    return x * y;
+  };
+  // count[s][q]: trees with s nodes evaluating to q (s odd).
+  std::vector<std::vector<uint64_t>> count(
+      num_nodes + 1, std::vector<uint64_t>(a.num_states, 0));
+  for (const auto& r : a.leaf_rules) {
+    count[1][r.to] = sat_add(count[1][r.to], 1);
+  }
+  for (size_t s = 3; s <= num_nodes; s += 2) {
+    for (const auto& r : a.rules) {
+      for (size_t s1 = 1; s1 <= s - 2; s1 += 2) {
+        size_t s2 = s - 1 - s1;
+        uint64_t c = sat_mul(count[s1][r.left], count[s2][r.right]);
+        if (c != 0) count[s][r.to] = sat_add(count[s][r.to], c);
+      }
+    }
+  }
+  uint64_t total = 0;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q]) total = sat_add(total, count[num_nodes][q]);
+  }
+  return total;
+}
+
+}  // namespace pebbletc

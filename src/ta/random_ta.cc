@@ -1,0 +1,46 @@
+#include "src/ta/random_ta.h"
+
+namespace pebbletc {
+
+Nbta RandomNbta(const RankedAlphabet& alphabet, Rng& rng,
+                const RandomNbtaOptions& options) {
+  PEBBLETC_CHECK(options.num_states > 0) << "need at least one state";
+  PEBBLETC_CHECK(!alphabet.LeafSymbols().empty()) << "no leaf symbols";
+  Nbta out;
+  out.num_symbols = static_cast<uint32_t>(alphabet.size());
+  for (uint32_t q = 0; q < options.num_states; ++q) out.AddState();
+
+  for (SymbolId a : alphabet.LeafSymbols()) {
+    for (StateId q = 0; q < out.num_states; ++q) {
+      if (rng.NextBool(options.leaf_density)) out.AddLeafRule(a, q);
+    }
+  }
+  if (out.leaf_rules.empty()) {
+    out.AddLeafRule(alphabet.LeafSymbols()[0],
+                    static_cast<StateId>(rng.NextBelow(out.num_states)));
+  }
+
+  for (SymbolId a : alphabet.BinarySymbols()) {
+    for (StateId l = 0; l < out.num_states; ++l) {
+      for (StateId r = 0; r < out.num_states; ++r) {
+        for (StateId to = 0; to < out.num_states; ++to) {
+          if (rng.NextBool(options.rule_density / out.num_states)) {
+            out.AddRule(a, l, r, to);
+          }
+        }
+      }
+    }
+  }
+
+  bool any_accepting = false;
+  for (StateId q = 0; q < out.num_states; ++q) {
+    out.accepting[q] = rng.NextBool(options.accepting_density);
+    any_accepting = any_accepting || out.accepting[q];
+  }
+  if (!any_accepting) {
+    out.accepting[rng.NextBelow(out.num_states)] = true;
+  }
+  return out;
+}
+
+}  // namespace pebbletc

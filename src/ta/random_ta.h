@@ -1,0 +1,29 @@
+// Random tree-automaton generation for property tests.
+
+#ifndef PEBBLETC_TA_RANDOM_TA_H_
+#define PEBBLETC_TA_RANDOM_TA_H_
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/rng.h"
+#include "src/ta/nbta.h"
+
+namespace pebbletc {
+
+struct RandomNbtaOptions {
+  uint32_t num_states = 3;
+  /// Expected number of binary rules per (binary symbol, state-pair) slot is
+  /// rule_density; leaf rules likewise.
+  double rule_density = 0.3;
+  double leaf_density = 0.5;
+  double accepting_density = 0.4;
+};
+
+/// Draws a random NBTA over `alphabet`; at least one leaf rule and one
+/// accepting state are guaranteed so the automaton is never trivially
+/// degenerate (though its language may still be empty).
+Nbta RandomNbta(const RankedAlphabet& alphabet, Rng& rng,
+                const RandomNbtaOptions& options);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_RANDOM_TA_H_

@@ -1,0 +1,169 @@
+#include "src/ta/topdown.h"
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/graph/agap.h"
+
+namespace pebbletc {
+
+Status TopDownTA::Validate(const RankedAlphabet& alphabet) const {
+  if (num_symbols != alphabet.size()) {
+    return Status::InvalidArgument("num_symbols does not match the alphabet");
+  }
+  if (start >= num_states) {
+    return Status::InvalidArgument("start state out of range");
+  }
+  for (const FinalPair& f : final_pairs) {
+    if (f.state >= num_states || f.symbol >= num_symbols) {
+      return Status::InvalidArgument("final pair out of range");
+    }
+    if (alphabet.Rank(f.symbol) != 0) {
+      return Status::InvalidArgument("final pair on binary symbol '" +
+                                     alphabet.Name(f.symbol) + "'");
+    }
+  }
+  for (const BinaryRule& r : rules) {
+    if (r.from >= num_states || r.left >= num_states ||
+        r.right >= num_states || r.symbol >= num_symbols) {
+      return Status::InvalidArgument("binary rule out of range");
+    }
+    if (alphabet.Rank(r.symbol) != 2) {
+      return Status::InvalidArgument("binary rule on leaf symbol '" +
+                                     alphabet.Name(r.symbol) + "'");
+    }
+  }
+  for (const SilentRule& s : silent) {
+    if (s.from >= num_states || s.to >= num_states ||
+        s.symbol >= num_symbols) {
+      return Status::InvalidArgument("silent rule out of range");
+    }
+  }
+  return Status::OK();
+}
+
+TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
+  TopDownTA out;
+  out.num_states = a.num_states;
+  out.num_symbols = a.num_symbols;
+  out.start = a.start;
+  if (a.silent.empty()) {
+    out.final_pairs = a.final_pairs;
+    out.rules = a.rules;
+    return out;
+  }
+
+  // For a rule (a, t) → ... the eliminated automaton needs it at every state
+  // q with q ⇒*_a t, i.e. every q that reaches t backwards through symbol-a
+  // silent edges. Compute those sets lazily, one reverse BFS per distinct
+  // (symbol, target), so the cost is proportional to the silent-edge graph
+  // rather than cubic in the (possibly large) state count.
+  const uint32_t n = a.num_states;
+  std::vector<std::vector<std::pair<StateId, StateId>>> reverse_silent(
+      a.num_symbols);  // per symbol: (to, from) edges
+  for (const TopDownTA::SilentRule& r : a.silent) {
+    reverse_silent[r.symbol].push_back({r.to, r.from});
+  }
+  // Adjacency: per symbol, reverse edges grouped by source (`to` side).
+  std::vector<std::vector<std::vector<StateId>>> radj(a.num_symbols);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    if (reverse_silent[s].empty()) continue;
+    radj[s].assign(n, {});
+    for (auto [to, from] : reverse_silent[s]) radj[s][to].push_back(from);
+  }
+
+  std::vector<std::vector<std::vector<StateId>>> memo(a.num_symbols);
+  auto backward_set = [&](SymbolId s, StateId t) -> const std::vector<StateId>& {
+    if (memo[s].empty()) memo[s].assign(n, {});
+    std::vector<StateId>& cached = memo[s][t];
+    if (!cached.empty()) return cached;
+    std::vector<bool> seen(n, false);
+    std::vector<StateId> work = {t};
+    seen[t] = true;
+    cached.push_back(t);
+    if (!radj[s].empty()) {
+      while (!work.empty()) {
+        StateId q = work.back();
+        work.pop_back();
+        for (StateId p : radj[s][q]) {
+          if (!seen[p]) {
+            seen[p] = true;
+            cached.push_back(p);
+            work.push_back(p);
+          }
+        }
+      }
+    }
+    return cached;
+  };
+
+  for (const TopDownTA::BinaryRule& r : a.rules) {
+    for (StateId q : backward_set(r.symbol, r.from)) {
+      out.AddRule(r.symbol, q, r.left, r.right);
+    }
+  }
+  for (const TopDownTA::FinalPair& f : a.final_pairs) {
+    for (StateId q : backward_set(f.symbol, f.state)) {
+      out.AddFinalPair(f.symbol, q);
+    }
+  }
+  return out;
+}
+
+bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree) {
+  if (tree.empty()) return false;
+  // Or-node per configuration [q, x]; one extra and-node per applicable
+  // binary rule instance; branchless accept via final pairs (edge to the
+  // empty and-node).
+  AlternatingGraph g;
+  const size_t num_nodes = tree.size();
+  // Config ids are laid out first so indices are predictable.
+  for (size_t i = 0; i < static_cast<size_t>(a.num_states) * num_nodes; ++i) {
+    g.AddNode(AlternatingGraph::NodeType::kOr);
+  }
+  AgapNodeId accept = g.AddNode(AlternatingGraph::NodeType::kAnd);
+  auto config = [&](StateId q, NodeId x) -> AgapNodeId {
+    return static_cast<AgapNodeId>(static_cast<size_t>(q) * num_nodes + x);
+  };
+
+  // Index rules by symbol once; trees are large and rule lists can be too
+  // (the Prop. 3.8 automata replicate silent rules per symbol).
+  std::vector<std::vector<const TopDownTA::SilentRule*>> silent_by(
+      a.num_symbols);
+  for (const TopDownTA::SilentRule& r : a.silent) {
+    silent_by[r.symbol].push_back(&r);
+  }
+  std::vector<std::vector<const TopDownTA::FinalPair*>> final_by(
+      a.num_symbols);
+  for (const TopDownTA::FinalPair& f : a.final_pairs) {
+    final_by[f.symbol].push_back(&f);
+  }
+  std::vector<std::vector<const TopDownTA::BinaryRule*>> rules_by(
+      a.num_symbols);
+  for (const TopDownTA::BinaryRule& r : a.rules) {
+    rules_by[r.symbol].push_back(&r);
+  }
+  for (NodeId x = 0; x < num_nodes; ++x) {
+    const SymbolId sym = tree.symbol(x);
+    for (const TopDownTA::SilentRule* r : silent_by[sym]) {
+      g.AddEdge(config(r->from, x), config(r->to, x));
+    }
+    if (tree.IsLeaf(x)) {
+      for (const TopDownTA::FinalPair* f : final_by[sym]) {
+        g.AddEdge(config(f->state, x), accept);
+      }
+    } else {
+      for (const TopDownTA::BinaryRule* r : rules_by[sym]) {
+        AgapNodeId pair = g.AddNode(AlternatingGraph::NodeType::kAnd);
+        g.AddEdge(config(r->from, x), pair);
+        g.AddEdge(pair, config(r->left, tree.left(x)));
+        g.AddEdge(pair, config(r->right, tree.right(x)));
+      }
+    }
+  }
+  std::vector<bool> accessible = g.ComputeAccessible();
+  return accessible[config(a.start, tree.root())];
+}
+
+}  // namespace pebbletc

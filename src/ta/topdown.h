@@ -1,0 +1,84 @@
+// Nondeterministic top-down (root-to-frontier) tree automata over complete
+// binary trees — Definition 2.1 — including the silent-transition variant of
+// Section 2.3 and its elimination construction.
+//
+// A top-down automaton is A = (Σ, Q, q0, QF, P):
+//   * binary transitions (a, q) → (q1, q2) with a ∈ Σ2 spawn branches on the
+//     two children;
+//   * final symbol-state pairs QF ⊆ Σ0 × Q accept at leaves;
+//   * silent transitions (a, q) → q' change state without moving.
+// Types in the paper are exactly the languages inst(A) of such automata.
+
+#ifndef PEBBLETC_TA_TOPDOWN_H_
+#define PEBBLETC_TA_TOPDOWN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/status.h"
+#include "src/regex/nfa.h"  // for StateId
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+/// A nondeterministic top-down tree automaton, possibly with silent
+/// transitions.
+struct TopDownTA {
+  uint32_t num_states = 0;
+  uint32_t num_symbols = 0;
+  StateId start = 0;
+
+  /// (a, q) ∈ QF: a branch in state `state` on an `symbol`-leaf accepts.
+  struct FinalPair {
+    SymbolId symbol;
+    StateId state;
+  };
+  std::vector<FinalPair> final_pairs;
+
+  /// (symbol, from) → (left, right).
+  struct BinaryRule {
+    SymbolId symbol;
+    StateId from;
+    StateId left;
+    StateId right;
+  };
+  std::vector<BinaryRule> rules;
+
+  /// (symbol, from) → to, keeping the head in place.
+  struct SilentRule {
+    SymbolId symbol;
+    StateId from;
+    StateId to;
+  };
+  std::vector<SilentRule> silent;
+
+  StateId AddState() { return num_states++; }
+  void AddFinalPair(SymbolId symbol, StateId state) {
+    final_pairs.push_back({symbol, state});
+  }
+  void AddRule(SymbolId symbol, StateId from, StateId left, StateId right) {
+    rules.push_back({symbol, from, left, right});
+  }
+  void AddSilent(SymbolId symbol, StateId from, StateId to) {
+    silent.push_back({symbol, from, to});
+  }
+
+  /// Checks that all state/symbol references are in range and that ranks
+  /// match `alphabet` (binary rules on Σ2, final pairs on Σ0).
+  Status Validate(const RankedAlphabet& alphabet) const;
+};
+
+/// The Section 2.3 construction: an equivalent automaton with no silent
+/// transitions. (Transitions (a,q)→(q1,q2) are added whenever q ⇒*_a q' and
+/// (a,q')→(q1,q2); likewise for final pairs.)
+TopDownTA EliminateSilentTransitions(const TopDownTA& a);
+
+/// Direct acceptance check via alternating-graph accessibility on the
+/// configuration space (state × node) — handles silent transitions.
+bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_TOPDOWN_H_

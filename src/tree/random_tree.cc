@@ -1,0 +1,99 @@
+#include "src/tree/random_tree.h"
+
+#include <utility>
+#include <vector>
+
+namespace pebbletc {
+
+UnrankedTree RandomUnrankedTree(const Alphabet& alphabet, Rng& rng,
+                                const RandomUnrankedOptions& options) {
+  PEBBLETC_CHECK(alphabet.size() > 0) << "empty alphabet";
+  UnrankedTree tree;
+  size_t budget = options.target_size == 0 ? 1 : options.target_size;
+
+  // Grows a node at `depth`, consuming budget; returns the node id.
+  struct Frame {
+    size_t depth;
+    bool expanded;
+    size_t num_children;
+  };
+  std::vector<Frame> stack = {{1, false, 0}};
+  std::vector<NodeId> results;
+  --budget;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (!f.expanded) {
+      size_t kids = 0;
+      if (f.depth < options.max_depth && budget > 0) {
+        kids = rng.NextBelow(options.max_children + 1);
+        if (kids > budget) kids = budget;
+        budget -= kids;
+      }
+      stack.push_back({f.depth, true, kids});
+      for (size_t i = 0; i < kids; ++i) {
+        stack.push_back({f.depth + 1, false, 0});
+      }
+    } else {
+      std::vector<NodeId> kids(f.num_children);
+      for (size_t i = f.num_children; i-- > 0;) {
+        kids[i] = results.back();
+        results.pop_back();
+      }
+      SymbolId tag = static_cast<SymbolId>(rng.NextBelow(alphabet.size()));
+      results.push_back(tree.AddNode(tag, std::move(kids)));
+    }
+  }
+  PEBBLETC_CHECK(results.size() == 1) << "generation stack imbalance";
+  tree.SetRoot(results.back());
+  return tree;
+}
+
+BinaryTree RandomBinaryTree(const RankedAlphabet& alphabet, Rng& rng,
+                            size_t num_internal) {
+  PEBBLETC_CHECK(!alphabet.LeafSymbols().empty()) << "no leaf symbols";
+  PEBBLETC_CHECK(num_internal == 0 || !alphabet.BinarySymbols().empty())
+      << "no binary symbols";
+  BinaryTree tree;
+
+  auto random_leaf = [&]() {
+    const auto& ls = alphabet.LeafSymbols();
+    return tree.AddLeaf(ls[rng.NextBelow(ls.size())]);
+  };
+  auto random_binary_symbol = [&]() {
+    const auto& bs = alphabet.BinarySymbols();
+    return bs[rng.NextBelow(bs.size())];
+  };
+
+  // Recursive random split with an explicit stack: a subtree with m internal
+  // nodes splits m-1 of them between its two children uniformly.
+  struct Frame {
+    size_t internal;
+    bool expanded;
+  };
+  std::vector<Frame> stack = {{num_internal, false}};
+  std::vector<NodeId> results;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.internal == 0) {
+      results.push_back(random_leaf());
+    } else if (!f.expanded) {
+      size_t left = rng.NextBelow(f.internal);  // in [0, internal-1]
+      stack.push_back({f.internal, true});
+      stack.push_back({f.internal - 1 - left, false});  // right, pops second
+      stack.push_back({left, false});                   // left, pops first
+    } else {
+      NodeId r = results.back();
+      results.pop_back();
+      NodeId l = results.back();
+      results.pop_back();
+      results.push_back(tree.AddInternal(random_binary_symbol(), l, r));
+    }
+  }
+  PEBBLETC_CHECK(results.size() == 1) << "generation stack imbalance";
+  tree.SetRoot(results.back());
+  return tree;
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,41 @@
+// Random tree generation for property tests and benchmark workloads.
+
+#ifndef PEBBLETC_TREE_RANDOM_TREE_H_
+#define PEBBLETC_TREE_RANDOM_TREE_H_
+
+#include <cstddef>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/rng.h"
+#include "src/tree/binary_tree.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+/// Options controlling random unranked tree shape.
+struct RandomUnrankedOptions {
+  /// Approximate number of nodes; generation stops expanding once the budget
+  /// is spent, so actual size is within [1, target_size + max_children].
+  size_t target_size = 32;
+  /// Maximum children per node.
+  size_t max_children = 4;
+  /// Maximum depth.
+  size_t max_depth = 64;
+};
+
+/// Generates a random unranked tree whose tags are drawn uniformly from
+/// `alphabet` (which must be non-empty).
+UnrankedTree RandomUnrankedTree(const Alphabet& alphabet, Rng& rng,
+                                const RandomUnrankedOptions& options);
+
+/// Generates a random complete binary tree with exactly `num_internal`
+/// internal nodes (hence num_internal + 1 leaves), symbols drawn uniformly
+/// from the rank-appropriate part of `alphabet`, which must contain at least
+/// one leaf symbol and — when num_internal > 0 — one binary symbol. The shape
+/// is drawn by recursive uniform splitting of the internal-node budget.
+BinaryTree RandomBinaryTree(const RankedAlphabet& alphabet, Rng& rng,
+                            size_t num_internal);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TREE_RANDOM_TREE_H_

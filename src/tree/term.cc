@@ -1,0 +1,208 @@
+#include "src/tree/term.h"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pebbletc {
+
+namespace {
+
+// A minimal recursive-descent tokenizer/cursor over term syntax.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // A symbol name: [A-Za-z0-9_]+ or a single '-' or '|'.
+  Result<std::string> ReadName() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("expected symbol name at end of input");
+    }
+    char c = text_[pos_];
+    if (c == '-' || c == '|') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<NodeId> ParseUnrankedNode(Cursor& cur, Alphabet* alphabet,
+                                 UnrankedTree* tree) {
+  PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
+  SymbolId tag = alphabet->Intern(name);
+  std::vector<NodeId> kids;
+  if (cur.Consume('(')) {
+    if (!cur.Consume(')')) {
+      while (true) {
+        PEBBLETC_ASSIGN_OR_RETURN(NodeId child,
+                                  ParseUnrankedNode(cur, alphabet, tree));
+        kids.push_back(child);
+        if (cur.Consume(',')) continue;
+        if (cur.Consume(')')) break;
+        return Status::ParseError("expected ',' or ')' at offset " +
+                                  std::to_string(cur.pos()));
+      }
+    }
+  }
+  return tree->AddNode(tag, std::move(kids));
+}
+
+Result<NodeId> ParseBinaryNode(Cursor& cur, const RankedAlphabet& alphabet,
+                               BinaryTree* tree) {
+  PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
+  SymbolId sym = alphabet.Find(name);
+  if (sym == kNoSymbol) {
+    return Status::ParseError("unknown symbol '" + name + "'");
+  }
+  if (cur.Peek() == '(') {
+    cur.Consume('(');
+    if (cur.Consume(')')) {
+      if (alphabet.Rank(sym) != 0) {
+        return Status::ParseError("binary symbol '" + name +
+                                  "' used with no children");
+      }
+      return tree->AddLeaf(sym);
+    }
+    if (alphabet.Rank(sym) != 2) {
+      return Status::ParseError("leaf symbol '" + name +
+                                "' used with children");
+    }
+    PEBBLETC_ASSIGN_OR_RETURN(NodeId l, ParseBinaryNode(cur, alphabet, tree));
+    if (!cur.Consume(',')) {
+      return Status::ParseError("binary symbol '" + name +
+                                "' needs exactly two children");
+    }
+    PEBBLETC_ASSIGN_OR_RETURN(NodeId r, ParseBinaryNode(cur, alphabet, tree));
+    if (!cur.Consume(')')) {
+      return Status::ParseError("expected ')' at offset " +
+                                std::to_string(cur.pos()));
+    }
+    return tree->AddInternal(sym, l, r);
+  }
+  if (alphabet.Rank(sym) != 0) {
+    return Status::ParseError("binary symbol '" + name +
+                              "' used without children");
+  }
+  return tree->AddLeaf(sym);
+}
+
+}  // namespace
+
+Result<UnrankedTree> ParseUnrankedTerm(std::string_view text,
+                                       Alphabet* alphabet) {
+  Cursor cur(text);
+  UnrankedTree tree;
+  PEBBLETC_ASSIGN_OR_RETURN(NodeId root,
+                            ParseUnrankedNode(cur, alphabet, &tree));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing input at offset " +
+                              std::to_string(cur.pos()));
+  }
+  tree.SetRoot(root);
+  return tree;
+}
+
+Result<BinaryTree> ParseBinaryTerm(std::string_view text,
+                                   const RankedAlphabet& alphabet) {
+  Cursor cur(text);
+  BinaryTree tree;
+  PEBBLETC_ASSIGN_OR_RETURN(NodeId root,
+                            ParseBinaryNode(cur, alphabet, &tree));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing input at offset " +
+                              std::to_string(cur.pos()));
+  }
+  tree.SetRoot(root);
+  return tree;
+}
+
+namespace {
+
+void AppendUnranked(const UnrankedTree& tree, const Alphabet& alphabet,
+                    NodeId n, std::string* out) {
+  *out += alphabet.Name(tree.tag(n));
+  const auto& kids = tree.children(n);
+  if (kids.empty()) return;
+  *out += '(';
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendUnranked(tree, alphabet, kids[i], out);
+  }
+  *out += ')';
+}
+
+void AppendBinary(const BinaryTree& tree, const RankedAlphabet& alphabet,
+                  NodeId n, std::string* out) {
+  *out += alphabet.Name(tree.symbol(n));
+  if (tree.IsLeaf(n)) return;
+  *out += '(';
+  AppendBinary(tree, alphabet, tree.left(n), out);
+  *out += ',';
+  AppendBinary(tree, alphabet, tree.right(n), out);
+  *out += ')';
+}
+
+}  // namespace
+
+std::string UnrankedTermString(const UnrankedTree& tree,
+                               const Alphabet& alphabet) {
+  if (tree.empty()) return "";
+  std::string out;
+  AppendUnranked(tree, alphabet, tree.root(), &out);
+  return out;
+}
+
+std::string BinaryTermString(const BinaryTree& tree,
+                             const RankedAlphabet& alphabet) {
+  if (tree.empty()) return "";
+  std::string out;
+  AppendBinary(tree, alphabet, tree.root(), &out);
+  return out;
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,42 @@
+// Textual term syntax for trees, used by tests, examples, and diagnostics.
+//
+//   unranked:  a(b, b, c(d), e)     — leaves may be written `b` or `b()`
+//   binary:    a(-(b, c), |)       — arity must match the symbol's rank
+//
+// Symbol names are maximal runs of [A-Za-z0-9_] or the single-character
+// symbols `-` and `|`.
+
+#ifndef PEBBLETC_TREE_TERM_H_
+#define PEBBLETC_TREE_TERM_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/tree/binary_tree.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+/// Parses an unranked tree. New tags are interned into `*alphabet`.
+Result<UnrankedTree> ParseUnrankedTerm(std::string_view text,
+                                       Alphabet* alphabet);
+
+/// Parses a binary tree over `alphabet`. All symbols must already exist in
+/// `alphabet` and arities must match ranks.
+Result<BinaryTree> ParseBinaryTerm(std::string_view text,
+                                   const RankedAlphabet& alphabet);
+
+/// Renders an unranked tree; inverse of ParseUnrankedTerm. Leaves print
+/// without parentheses.
+std::string UnrankedTermString(const UnrankedTree& tree,
+                               const Alphabet& alphabet);
+
+/// Renders a binary tree; inverse of ParseBinaryTerm.
+std::string BinaryTermString(const BinaryTree& tree,
+                             const RankedAlphabet& alphabet);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TREE_TERM_H_

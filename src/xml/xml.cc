@@ -1,0 +1,155 @@
+#include "src/xml/xml.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace pebbletc {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<UnrankedTree> Parse() {
+    SkipMisc();
+    PEBBLETC_ASSIGN_OR_RETURN(NodeId root, ParseElement());
+    SkipMisc();
+    if (pos_ < text_.size()) {
+      return Status::ParseError("trailing content at offset " +
+                                std::to_string(pos_));
+    }
+    tree_.SetRoot(root);
+    return std::move(tree_);
+  }
+
+ private:
+  // Skips whitespace and comments.
+  void SkipMisc() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_.substr(pos_).substr(0, 4) == "<!--") {
+        auto end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError("expected tag name at offset " +
+                                std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<NodeId> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::ParseError("expected '<' at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    PEBBLETC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    // No attributes in this fragment: next must be '/>' or '>'.
+    if (pos_ < text_.size() &&
+        std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::ParseError(
+          "attributes are not supported (element '" + name + "')");
+    }
+    SymbolId tag = alphabet_->Intern(name);
+    if (text_.substr(pos_).substr(0, 2) == "/>") {
+      pos_ += 2;
+      return tree_.AddNode(tag);
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return Status::ParseError("expected '>' at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    std::vector<NodeId> kids;
+    while (true) {
+      SkipMisc();
+      if (text_.substr(pos_).substr(0, 2) == "</") {
+        pos_ += 2;
+        PEBBLETC_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != name) {
+          return Status::ParseError("mismatched </" + close + ">, expected </" +
+                                    name + ">");
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::ParseError("expected '>' after closing tag");
+        }
+        ++pos_;
+        return tree_.AddNode(tag, std::move(kids));
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unexpected end of input inside <" + name +
+                                  ">");
+      }
+      if (text_[pos_] != '<') {
+        return Status::ParseError(
+            "text content is not supported (inside <" + name + ">)");
+      }
+      PEBBLETC_ASSIGN_OR_RETURN(NodeId child, ParseElement());
+      kids.push_back(child);
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Alphabet* alphabet_;
+  UnrankedTree tree_;
+};
+
+void Append(const UnrankedTree& tree, const Alphabet& alphabet, NodeId n,
+            bool indent, int depth, std::string* out) {
+  if (indent) out->append(static_cast<size_t>(depth) * 2, ' ');
+  const std::string& name = alphabet.Name(tree.tag(n));
+  if (tree.IsLeaf(n)) {
+    *out += '<';
+    *out += name;
+    *out += "/>";
+    if (indent) *out += '\n';
+    return;
+  }
+  *out += '<';
+  *out += name;
+  *out += '>';
+  if (indent) *out += '\n';
+  for (NodeId c : tree.children(n)) {
+    Append(tree, alphabet, c, indent, depth + 1, out);
+  }
+  if (indent) out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += "</";
+  *out += name;
+  *out += '>';
+  if (indent) *out += '\n';
+}
+
+}  // namespace
+
+Result<UnrankedTree> ParseXml(std::string_view text, Alphabet* alphabet) {
+  return XmlParser(text, alphabet).Parse();
+}
+
+std::string XmlString(const UnrankedTree& tree, const Alphabet& alphabet,
+                      bool indent) {
+  if (tree.empty()) return "";
+  std::string out;
+  Append(tree, alphabet, tree.root(), indent, 0, &out);
+  return out;
+}
+
+}  // namespace pebbletc

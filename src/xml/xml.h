@@ -1,0 +1,30 @@
+// Minimal XML reader/writer for the element-only fragment the paper models
+// (Section 2.2): nested tags over an unranked alphabet. Self-closing tags
+// (<a/>), whitespace between elements, and <!-- comments --> are handled;
+// attributes, PCDATA, entities, and processing instructions are rejected —
+// they are outside the paper's data model (see the Limitations discussion).
+
+#ifndef PEBBLETC_XML_XML_H_
+#define PEBBLETC_XML_XML_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/tree/unranked_tree.h"
+
+namespace pebbletc {
+
+/// Parses an element-only XML document into an unranked tree; tags are
+/// interned into `*alphabet`.
+Result<UnrankedTree> ParseXml(std::string_view text, Alphabet* alphabet);
+
+/// Serializes a tree as XML. Leaves print self-closed (`<a/>`); `indent`
+/// pretty-prints with two-space indentation.
+std::string XmlString(const UnrankedTree& tree, const Alphabet& alphabet,
+                      bool indent = false);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_XML_XML_H_

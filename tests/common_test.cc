@@ -1,0 +1,201 @@
+// Tests for src/common: Status, Result, RNG, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace pebbletc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::ParseError("oops");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kParseError);
+  EXPECT_EQ(t.message(), "oops");
+  Status u;
+  u = s;
+  EXPECT_EQ(u.message(), "oops");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("unexpected ')'");
+  Status t = s.WithContext("line 3");
+  EXPECT_EQ(t.message(), "line 3: unexpected ')'");
+  EXPECT_EQ(t.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Status().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    PEBBLETC_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::ParseError("no"); };
+  auto wrapper = [&]() -> Result<int> {
+    PEBBLETC_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  auto r = wrapper();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto succeeds = []() -> Result<int> { return 10; };
+  auto wrapper = [&]() -> Result<int> {
+    PEBBLETC_ASSIGN_OR_RETURN(int v, succeeds());
+    return v + 1;
+  };
+  auto r = wrapper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 11);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit in 1000 draws
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(5);
+  Rng b = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(StrUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  ab c \t\n"), "ab c");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StrUtilTest, SplitAndTrim) {
+  std::vector<std::string> parts = SplitAndTrim(" a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(StartsWith("ab", ""));
+}
+
+}  // namespace
+}  // namespace pebbletc

@@ -1,0 +1,295 @@
+// Tests for src/core: the Theorem 4.4 typechecker — bounded refutation, the
+// downward fast path, the complete MSO pipeline, inverse type inference, and
+// counterexample extraction.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/rng.h"
+#include "src/core/downward.h"
+#include "src/core/typechecker.h"
+#include "src/pt/eval.h"
+#include "src/pt/paper_machines.h"
+#include "src/ta/nbta.h"
+#include "src/tree/random_tree.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+namespace {
+
+RankedAlphabet TinyRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("a0");
+  (void)sigma.AddLeaf("b0");
+  (void)sigma.AddBinary("a2");
+  (void)sigma.AddBinary("b2");
+  return sigma;
+}
+
+RankedAlphabet MicroRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("l");
+  (void)sigma.AddBinary("n");
+  return sigma;
+}
+
+// All leaves labelled `leaf`, any internal structure.
+Nbta AllLeaves(const RankedAlphabet& sigma, SymbolId leaf) {
+  Nbta a;
+  a.num_symbols = static_cast<uint32_t>(sigma.size());
+  StateId q = a.AddState();
+  a.accepting[q] = true;
+  a.AddLeafRule(leaf, q);
+  for (SymbolId s : sigma.BinarySymbols()) a.AddRule(s, q, q, q);
+  return a;
+}
+
+TEST(DownwardTest, FragmentDetection) {
+  RankedAlphabet sigma = TinyRanked();
+  EXPECT_TRUE(IsDownwardTransducer(MakeCopyTransducer(sigma)));
+  PebbleTransducer t(1, 4, 4);
+  StateId q = t.AddState(1);
+  t.SetStart(q);
+  t.AddMove({}, q, PebbleTransducer::MoveKind::kUpLeft, q);
+  EXPECT_FALSE(IsDownwardTransducer(t));
+  PebbleTransducer t2(2, 4, 4);
+  StateId p1 = t2.AddState(1);
+  StateId p2 = t2.AddState(2);
+  t2.SetStart(p1);
+  t2.AddMove({}, p1, PebbleTransducer::MoveKind::kPlacePebble, p2);
+  EXPECT_FALSE(IsDownwardTransducer(t2));
+}
+
+TEST(TypecheckTest, CopyTypechecksAgainstItsOwnType) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta tau = AllLeaves(sigma, sigma.Find("a0"));
+  auto r = std::move(tc.Typecheck(tau, tau)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kTypechecks);
+  EXPECT_EQ(r.method, "downward-fastpath");
+}
+
+TEST(TypecheckTest, CopyCounterexampleWhenTypesDiffer) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta tau1 = AllLeaves(sigma, sigma.Find("a0"));
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("b0"));
+  auto r = std::move(tc.Typecheck(tau1, tau2)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kCounterexample);
+  ASSERT_TRUE(r.counterexample_input.has_value());
+  ASSERT_TRUE(r.counterexample_output.has_value());
+  // The counterexample is genuine: input ∈ τ1, output ∈ T(input), ∉ τ2.
+  EXPECT_TRUE(tau1.Accepts(*r.counterexample_input));
+  EXPECT_FALSE(tau2.Accepts(*r.counterexample_output));
+  auto member = OutputContains(copy, *r.counterexample_input,
+                               *r.counterexample_output);
+  ASSERT_TRUE(member.ok());
+  EXPECT_TRUE(*member);
+}
+
+TEST(TypecheckTest, FastPathAndRefutationAgree) {
+  // Disable the refutation pre-pass; the fast path alone must find the same
+  // verdicts on a family of type pairs.
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta a0 = AllLeaves(sigma, sigma.Find("a0"));
+  Nbta b0 = AllLeaves(sigma, sigma.Find("b0"));
+  Nbta uni = UniversalNbta(sigma);
+  TypecheckOptions no_refute;
+  no_refute.refutation_max_trees = 0;
+  struct Case {
+    const Nbta* t1;
+    const Nbta* t2;
+    TypecheckVerdict want;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {&a0, &a0, TypecheckVerdict::kTypechecks},
+           {&a0, &uni, TypecheckVerdict::kTypechecks},
+           {&uni, &a0, TypecheckVerdict::kCounterexample},
+           {&b0, &a0, TypecheckVerdict::kCounterexample}}) {
+    auto fast = std::move(tc.Typecheck(*c.t1, *c.t2, no_refute)).ValueOrDie();
+    EXPECT_EQ(fast.verdict, c.want);
+    EXPECT_EQ(fast.method, "downward-fastpath");
+    auto refuted = std::move(tc.Typecheck(*c.t1, *c.t2)).ValueOrDie();
+    EXPECT_EQ(refuted.verdict, c.want);
+  }
+}
+
+TEST(TypecheckTest, EmptyInputTypeAlwaysTypechecks) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta none = EmptyLanguageNbta(sigma);
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("a0"));
+  auto r = std::move(tc.Typecheck(none, tau2)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kTypechecks);
+}
+
+TEST(TypecheckTest, CheckOnInputIsExact) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("a0"));
+  auto good = std::move(ParseBinaryTerm("a2(a0,a0)", sigma)).ValueOrDie();
+  auto bad = std::move(ParseBinaryTerm("a2(a0,b0)", sigma)).ValueOrDie();
+  EXPECT_TRUE(std::move(tc.CheckOnInput(good, tau2)).ValueOrDie());
+  std::optional<BinaryTree> violating;
+  auto r = tc.CheckOnInput(bad, tau2, {}, &violating);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  ASSERT_TRUE(violating.has_value());
+  EXPECT_TRUE(*violating == bad);  // copy: the violating output is the input
+}
+
+// A non-downward transducer small enough for the complete MSO pipeline:
+// outputs the single leaf `l` when the input root is a leaf (and produces
+// nothing otherwise); an unreachable up-move pushes it out of the downward
+// fragment.
+PebbleTransducer TinyNonDownward(const RankedAlphabet& sigma) {
+  PebbleTransducer t(1, static_cast<uint32_t>(sigma.size()),
+                     static_cast<uint32_t>(sigma.size()));
+  StateId q = t.AddState(1);
+  StateId dead = t.AddState(1);
+  t.SetStart(q);
+  t.AddOutputLeaf({.symbol = sigma.Find("l")}, q, sigma.Find("l"));
+  t.AddMove({}, dead, PebbleTransducer::MoveKind::kUpLeft, dead);
+  return t;
+}
+
+TEST(TypecheckTest, CompleteMsoPipelinePositive) {
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer t = TinyNonDownward(sigma);
+  ASSERT_FALSE(IsDownwardTransducer(t));
+  Typechecker tc(t, sigma, sigma);
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("l"));
+  TypecheckOptions opts;
+  opts.refutation_max_trees = 0;  // force the complete pipeline
+  auto r = std::move(tc.Typecheck(UniversalNbta(sigma), tau2, opts))
+               .ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kTypechecks);
+  EXPECT_EQ(r.method, "behavior-complete");
+
+  // Force the Theorem 4.7 MSO route; the verdict must not change.
+  opts.behavior_max_state_bits = 0;
+  auto r2 = std::move(tc.Typecheck(UniversalNbta(sigma), tau2, opts))
+                .ValueOrDie();
+  EXPECT_EQ(r2.verdict, TypecheckVerdict::kTypechecks);
+  EXPECT_EQ(r2.method, "mso-complete");
+  EXPECT_GT(r2.mso_stats.automata_built, 0u);
+}
+
+TEST(TypecheckTest, CompleteMsoPipelineNegative) {
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer t = TinyNonDownward(sigma);
+  Typechecker tc(t, sigma, sigma);
+  // τ2 = trees rooted at `n` — the produced leaf `l` violates it.
+  Nbta tau2;
+  tau2.num_symbols = 2;
+  {
+    StateId any = tau2.AddState();
+    StateId top = tau2.AddState();
+    tau2.accepting[top] = true;
+    tau2.AddLeafRule(sigma.Find("l"), any);
+    tau2.AddRule(sigma.Find("n"), any, any, any);
+    tau2.AddRule(sigma.Find("n"), any, any, top);
+  }
+  TypecheckOptions opts;
+  opts.refutation_max_trees = 0;
+  opts.behavior_max_state_bits = 0;  // force the MSO route
+  auto r = std::move(tc.Typecheck(UniversalNbta(sigma), tau2, opts))
+               .ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kCounterexample);
+  EXPECT_EQ(r.method, "mso-complete");
+  ASSERT_TRUE(r.counterexample_input.has_value());
+  // The counterexample input must be the single leaf (the only input with
+  // an output at all).
+  EXPECT_EQ(r.counterexample_input->size(), 1u);
+  ASSERT_TRUE(r.counterexample_output.has_value());
+  EXPECT_FALSE(tau2.Accepts(*r.counterexample_output));
+}
+
+TEST(TypecheckTest, BoundedRefutationFindsBugBeforeCompletePipeline) {
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer t = TinyNonDownward(sigma);
+  Typechecker tc(t, sigma, sigma);
+  Nbta tau2;  // empty output type: any produced output is a violation
+  tau2.num_symbols = 2;
+  tau2.AddState();
+  auto r = std::move(tc.Typecheck(UniversalNbta(sigma), tau2)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kCounterexample);
+  EXPECT_EQ(r.method, "bounded-refutation");
+}
+
+TEST(TypecheckTest, InconclusiveWhenEverythingDisabled) {
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer t = TinyNonDownward(sigma);
+  Typechecker tc(t, sigma, sigma);
+  TypecheckOptions opts;
+  opts.refutation_max_trees = 0;
+  opts.run_complete_decision = false;
+  auto r = std::move(tc.Typecheck(UniversalNbta(sigma),
+                                  AllLeaves(sigma, sigma.Find("l")), opts))
+               .ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kInconclusive);
+}
+
+TEST(InverseInferenceTest, VacuousOutputsMakeEverythingConform) {
+  // T produces an output only on the single-leaf input; on every other tree
+  // T(t) = ∅ ⊆ τ2 vacuously, so the inverse type is *universal*.
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer t = TinyNonDownward(sigma);
+  Typechecker tc(t, sigma, sigma);
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("l"));
+  auto inverse = std::move(tc.InferInverseType(tau2)).ValueOrDie();
+  auto eq = NbtaEquivalent(inverse, UniversalNbta(sigma), sigma);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(InverseInferenceTest, CopyInverseIsTheOutputType) {
+  // For the identity transformation the inverse type of τ2 is τ2 itself.
+  RankedAlphabet sigma = MicroRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  // τ2: the root is the binary symbol n.
+  Nbta tau2;
+  tau2.num_symbols = 2;
+  {
+    StateId any = tau2.AddState();
+    StateId top = tau2.AddState();
+    tau2.accepting[top] = true;
+    tau2.AddLeafRule(sigma.Find("l"), any);
+    tau2.AddRule(sigma.Find("n"), any, any, any);
+    tau2.AddRule(sigma.Find("n"), any, any, top);
+  }
+  auto inverse = std::move(tc.InferInverseType(tau2)).ValueOrDie();
+  auto eq = NbtaEquivalent(inverse, tau2, sigma);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(DownwardProductTest, AgreesWithPerInputChecks) {
+  // Cross-validation: the downward product automaton's language must equal
+  // {t | T(t) ∩ inst(D) ≠ ∅}, checked per-tree via A_t on random inputs.
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Nbta d_lang = AllLeaves(sigma, sigma.Find("a0"));
+  auto d = std::move(DeterminizeNbta(d_lang, sigma)).ValueOrDie();
+  auto product =
+      std::move(DownwardProductAutomaton(copy, d, sigma)).ValueOrDie();
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    BinaryTree t = RandomBinaryTree(sigma, rng, rng.NextBelow(10));
+    // For copy, T(t) ∩ inst(D) ≠ ∅ iff t ∈ inst(D).
+    EXPECT_EQ(product.Accepts(t), d_lang.Accepts(t))
+        << BinaryTermString(t, sigma);
+  }
+}
+
+}  // namespace
+}  // namespace pebbletc

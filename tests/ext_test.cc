@@ -1,0 +1,252 @@
+// Tests for src/ext: the Section 5 extensions — unary predicates on data
+// values via the 2^m-constants reduction, and the independent-join
+// abstraction.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/typechecker.h"
+#include "src/ext/data_values.h"
+#include "src/ext/joins.h"
+#include "src/pt/eval.h"
+#include "src/ta/nbta.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+namespace {
+
+// Base alphabet: data leaf d, plain leaf e, binary n.
+RankedAlphabet DataRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("d");
+  (void)sigma.AddLeaf("e");
+  (void)sigma.AddBinary("n");
+  return sigma;
+}
+
+TEST(DataValuesTest, ExpandAlphabetLayout) {
+  RankedAlphabet base = DataRanked();
+  auto exp =
+      std::move(ExpandDataAlphabet(base, base.Find("d"), 2)).ValueOrDie();
+  EXPECT_EQ(exp.ranked.size(), base.size() + 4);
+  EXPECT_EQ(exp.ranked.Name(exp.data_variant[0]), "d#00");
+  EXPECT_EQ(exp.ranked.Name(exp.data_variant[3]), "d#11");
+  EXPECT_EQ(exp.to_base[exp.data_variant[2]], base.Find("d"));
+  EXPECT_EQ(exp.to_base[base.Find("e")], base.Find("e"));
+  // Non-leaf data symbol rejected.
+  EXPECT_FALSE(ExpandDataAlphabet(base, base.Find("n"), 1).ok());
+}
+
+TEST(DataValuesTest, AbstractionEvaluatesPredicates) {
+  RankedAlphabet base = DataRanked();
+  auto exp =
+      std::move(ExpandDataAlphabet(base, base.Find("d"), 2)).ValueOrDie();
+  DataTree input;
+  NodeId l = input.tree.AddLeaf(base.Find("d"));
+  NodeId r = input.tree.AddLeaf(base.Find("d"));
+  input.tree.SetRoot(input.tree.AddInternal(base.Find("n"), l, r));
+  input.values = {"smith", "x9", ""};
+  std::vector<UnaryPredicate> preds = {
+      [](const std::string& v) { return v.size() > 2; },
+      [](const std::string& v) { return !v.empty() && v[0] == 'x'; },
+  };
+  auto abstracted =
+      std::move(AbstractDataTree(input, exp, preds)).ValueOrDie();
+  // "smith": p0 only (bits 01 → variant 1); "x9": p1 only (variant 2).
+  EXPECT_EQ(abstracted.symbol(l), exp.data_variant[1]);
+  EXPECT_EQ(abstracted.symbol(r), exp.data_variant[2]);
+  EXPECT_EQ(abstracted.symbol(abstracted.root()), base.Find("n"));
+}
+
+TEST(DataValuesTest, LiftedTypeIgnoresPredicateBits) {
+  RankedAlphabet base = DataRanked();
+  auto exp =
+      std::move(ExpandDataAlphabet(base, base.Find("d"), 1)).ValueOrDie();
+  // Base type: all leaves are data leaves.
+  Nbta base_type;
+  base_type.num_symbols = static_cast<uint32_t>(base.size());
+  StateId q = base_type.AddState();
+  base_type.accepting[q] = true;
+  base_type.AddLeafRule(base.Find("d"), q);
+  base_type.AddRule(base.Find("n"), q, q, q);
+  Nbta lifted = LiftTypeToExpanded(base_type, exp);
+  // d#0 and d#1 both conform; e does not.
+  BinaryTree t1;
+  t1.SetRoot(t1.AddInternal(base.Find("n"), t1.AddLeaf(exp.data_variant[0]),
+                            t1.AddLeaf(exp.data_variant[1])));
+  EXPECT_TRUE(lifted.Accepts(t1));
+  BinaryTree t2;
+  t2.SetRoot(t2.AddLeaf(base.Find("e")));
+  EXPECT_FALSE(lifted.Accepts(t2));
+}
+
+// The Section 5 workflow end-to-end: a transducer that classifies its (data
+// leaf) input by a unary predicate — outputs `yes` iff the predicate holds —
+// typechecked through the finite reduction.
+TEST(DataValuesTest, TypecheckThroughReduction) {
+  RankedAlphabet base = DataRanked();
+  auto exp =
+      std::move(ExpandDataAlphabet(base, base.Find("d"), 1)).ValueOrDie();
+  RankedAlphabet out_sigma;
+  SymbolId yes = std::move(out_sigma.AddLeaf("yes")).ValueOrDie();
+  SymbolId no = std::move(out_sigma.AddLeaf("no")).ValueOrDie();
+
+  PebbleTransducer t(1, static_cast<uint32_t>(exp.ranked.size()), 2);
+  StateId q = t.AddState(1);
+  t.SetStart(q);
+  t.AddOutputLeaf({.symbol = exp.data_variant[1]}, q, yes);
+  t.AddOutputLeaf({.symbol = exp.data_variant[0]}, q, no);
+  ASSERT_TRUE(t.Validate(exp.ranked, out_sigma).ok());
+
+  // Input type: a single data leaf (lifted). Output type: {yes, no}.
+  Nbta base_input;
+  base_input.num_symbols = static_cast<uint32_t>(base.size());
+  StateId s = base_input.AddState();
+  base_input.accepting[s] = true;
+  base_input.AddLeafRule(base.Find("d"), s);
+  Nbta tau1 = LiftTypeToExpanded(base_input, exp);
+
+  Nbta tau2;
+  tau2.num_symbols = 2;
+  StateId a = tau2.AddState();
+  tau2.accepting[a] = true;
+  tau2.AddLeafRule(yes, a);
+  tau2.AddLeafRule(no, a);
+
+  Typechecker tc(t, exp.ranked, out_sigma);
+  auto r = std::move(tc.Typecheck(tau1, tau2)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kTypechecks);
+
+  // Against {yes} only, the d#0 input refutes it.
+  Nbta tau2_yes;
+  tau2_yes.num_symbols = 2;
+  StateId a2 = tau2_yes.AddState();
+  tau2_yes.accepting[a2] = true;
+  tau2_yes.AddLeafRule(yes, a2);
+  auto r2 = std::move(tc.Typecheck(tau1, tau2_yes)).ValueOrDie();
+  EXPECT_EQ(r2.verdict, TypecheckVerdict::kCounterexample);
+}
+
+// --- joins ---
+
+// A 2-pebble machine: pebble 1 on the root's left leaf, pebble 2 walks to
+// the right leaf; equality test decides the output symbol.
+JoinTransducer MakeEqualityChecker(const RankedAlphabet& sigma,
+                                   SymbolId out_eq, SymbolId out_ne) {
+  JoinTransducer jt{PebbleTransducer(2, static_cast<uint32_t>(sigma.size()),
+                                     static_cast<uint32_t>(sigma.size())),
+                    {},
+                    sigma.Find("d")};
+  PebbleTransducer& t = jt.base;
+  using M = PebbleTransducer::MoveKind;
+  StateId q0 = t.AddState(1);
+  StateId q1 = t.AddState(1);
+  StateId p0 = t.AddState(2);
+  StateId p1 = t.AddState(2);
+  StateId test = t.AddState(2);
+  StateId eq = t.AddState(2);
+  StateId ne = t.AddState(2);
+  t.SetStart(q0);
+  t.AddMove({}, q0, M::kDownLeft, q1);   // pebble 1 → left leaf
+  t.AddMove({}, q1, M::kPlacePebble, p0);
+  t.AddMove({}, p0, M::kDownRight, p1);  // pebble 2 → right leaf
+  t.AddMove({}, p1, M::kStay, test);
+  jt.tests.push_back({{}, test, 1, 2, eq, ne});
+  t.AddOutputLeaf({}, eq, out_eq);
+  t.AddOutputLeaf({}, ne, out_ne);
+  return jt;
+}
+
+TEST(JoinTest, ConcreteEvaluationComparesValues) {
+  RankedAlphabet sigma = DataRanked();
+  SymbolId out_eq = sigma.Find("d");  // reuse symbols as outputs
+  SymbolId out_ne = sigma.Find("e");
+  JoinTransducer jt = MakeEqualityChecker(sigma, out_eq, out_ne);
+
+  DataTree input;
+  NodeId l = input.tree.AddLeaf(sigma.Find("d"));
+  NodeId r = input.tree.AddLeaf(sigma.Find("d"));
+  input.tree.SetRoot(input.tree.AddInternal(sigma.Find("n"), l, r));
+  input.values = {"v1", "v1", ""};
+  auto same = std::move(EvalJoinConcrete(jt, input)).ValueOrDie();
+  EXPECT_EQ(same.symbol(same.root()), out_eq);
+
+  input.values = {"v1", "v2", ""};
+  auto diff = std::move(EvalJoinConcrete(jt, input)).ValueOrDie();
+  EXPECT_EQ(diff.symbol(diff.root()), out_ne);
+}
+
+TEST(JoinTest, AbstractionIsSound) {
+  // Every concrete output must be among the abstraction's outputs — the
+  // Section 5 soundness property that makes typechecking the abstraction
+  // meaningful.
+  RankedAlphabet sigma = DataRanked();
+  SymbolId out_eq = sigma.Find("d");
+  SymbolId out_ne = sigma.Find("e");
+  JoinTransducer jt = MakeEqualityChecker(sigma, out_eq, out_ne);
+  PebbleTransducer abstract = AbstractJoins(jt);
+  ASSERT_TRUE(abstract.Validate(sigma, sigma).ok());
+
+  DataTree input;
+  NodeId l = input.tree.AddLeaf(sigma.Find("d"));
+  NodeId r = input.tree.AddLeaf(sigma.Find("d"));
+  input.tree.SetRoot(input.tree.AddInternal(sigma.Find("n"), l, r));
+  for (const char* v2 : {"v1", "other"}) {
+    input.values = {"v1", v2, ""};
+    auto concrete = std::move(EvalJoinConcrete(jt, input)).ValueOrDie();
+    auto member = OutputContains(abstract, input.tree, concrete);
+    ASSERT_TRUE(member.ok());
+    EXPECT_TRUE(*member);
+  }
+  // The abstraction has both outputs (the guess).
+  auto outputs =
+      std::move(EnumerateOutputs(abstract, input.tree, 1, 10)).ValueOrDie();
+  EXPECT_EQ(outputs.size(), 2u);
+}
+
+TEST(JoinTest, AbstractionTypechecksConservatively) {
+  // If the abstraction typechecks, every concrete run conforms.
+  RankedAlphabet sigma = DataRanked();
+  SymbolId out_eq = sigma.Find("d");
+  SymbolId out_ne = sigma.Find("e");
+  JoinTransducer jt = MakeEqualityChecker(sigma, out_eq, out_ne);
+  PebbleTransducer abstract = AbstractJoins(jt);
+
+  // τ2 = single leaf d or e: both outcomes allowed → typechecks.
+  Nbta tau2;
+  tau2.num_symbols = static_cast<uint32_t>(sigma.size());
+  StateId a = tau2.AddState();
+  tau2.accepting[a] = true;
+  tau2.AddLeafRule(out_eq, a);
+  tau2.AddLeafRule(out_ne, a);
+
+  // τ1: n(d, d).
+  Nbta tau1;
+  tau1.num_symbols = static_cast<uint32_t>(sigma.size());
+  StateId leaf = tau1.AddState();
+  StateId top = tau1.AddState();
+  tau1.accepting[top] = true;
+  tau1.AddLeafRule(sigma.Find("d"), leaf);
+  tau1.AddRule(sigma.Find("n"), leaf, leaf, top);
+
+  Typechecker tc(abstract, sigma, sigma);
+  TypecheckOptions opts;
+  opts.run_complete_decision = false;  // 2 pebbles: rely on refutation only
+  auto r = std::move(tc.Typecheck(tau1, tau2, opts)).ValueOrDie();
+  // Bounded refutation finds no violation; the verdict stays inconclusive
+  // (sound: it never claims correctness it cannot prove).
+  EXPECT_NE(r.verdict, TypecheckVerdict::kCounterexample);
+
+  // τ2 = {d} only: the abstraction can output e → refuted.
+  Nbta tau2_eq;
+  tau2_eq.num_symbols = static_cast<uint32_t>(sigma.size());
+  StateId a2 = tau2_eq.AddState();
+  tau2_eq.accepting[a2] = true;
+  tau2_eq.AddLeafRule(out_eq, a2);
+  auto r2 = std::move(tc.Typecheck(tau1, tau2_eq, opts)).ValueOrDie();
+  EXPECT_EQ(r2.verdict, TypecheckVerdict::kCounterexample);
+}
+
+}  // namespace
+}  // namespace pebbletc

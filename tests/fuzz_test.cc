@@ -1,0 +1,118 @@
+// Robustness ("fuzz-lite") tests: every text parser in the library must
+// return a clean Status on arbitrary input — never crash, never hang — and
+// parsers must accept what the printers produce (round-trip closure under
+// random valid structures is covered in the per-module suites; here we
+// hammer the error paths).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/dtd/dtd.h"
+#include "src/query/pattern.h"
+#include "src/query/xslt.h"
+#include "src/regex/regex.h"
+#include "src/tree/term.h"
+#include "src/xml/xml.h"
+
+namespace pebbletc {
+namespace {
+
+// Random strings over a hostile character set (parser metacharacters heavy).
+std::string RandomText(Rng& rng, size_t max_len) {
+  static constexpr char kChars[] =
+      "abcxyz01_ ()[]{}<>|*+?.,;:=\t\n\\\"'/-#";
+  size_t len = rng.NextBelow(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kChars[rng.NextBelow(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, NoParserCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string text = RandomText(rng, 60);
+    {
+      Alphabet sigma;
+      auto r = ParseRegex(text, &sigma);
+      if (r.ok()) {
+        // Whatever parsed must print and re-parse equivalently-shaped.
+        std::string printed = RegexString(*r, sigma);
+        EXPECT_TRUE(ParseRegex(printed, &sigma).ok()) << printed;
+      }
+    }
+    {
+      Alphabet sigma;
+      auto r = ParseUnrankedTerm(text, &sigma);
+      if (r.ok()) {
+        EXPECT_TRUE(r->Validate(sigma).ok());
+      }
+    }
+    {
+      Alphabet sigma;
+      auto r = ParseXml(text, &sigma);
+      if (r.ok()) {
+        EXPECT_TRUE(r->Validate(sigma).ok());
+      }
+    }
+    {
+      auto r = ParseSpecializedDtd(text);
+      (void)r;  // ok-or-error, no crash
+    }
+    {
+      Alphabet sigma;
+      auto r = ParsePattern(text, &sigma);
+      (void)r;
+    }
+    {
+      Alphabet in, out;
+      auto r = ParseXslt(text, &in, &out);
+      (void)r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<uint64_t>(0, 10));
+
+TEST(ParserFuzz, DeeplyNestedInputsDoNotOverflow) {
+  // Parsers are recursive-descent; very deep nesting must either parse or
+  // fail cleanly within sane stack use. 2000 levels is far beyond any real
+  // document while safely within default stack limits for these frames.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "a(";
+  deep += "b";
+  for (int i = 0; i < 2000; ++i) deep += ")";
+  Alphabet sigma;
+  auto r = ParseUnrankedTerm(deep, &sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2001u);
+  EXPECT_EQ(r->Depth(), 2001u);
+
+  std::string deep_xml;
+  for (int i = 0; i < 2000; ++i) deep_xml += "<a>";
+  deep_xml += "<b/>";
+  for (int i = 0; i < 2000; ++i) deep_xml += "</a>";
+  Alphabet sigma2;
+  auto x = ParseXml(deep_xml, &sigma2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 2001u);
+}
+
+TEST(ParserFuzz, PathologicalRegexesStayPolynomial) {
+  // Nested stars and unions must compile without blowup at these sizes.
+  Alphabet sigma;
+  std::string nasty = "a";
+  for (int i = 0; i < 12; ++i) nasty = "(" + nasty + "|b)*";
+  auto r = ParseRegex(nasty, &sigma);
+  ASSERT_TRUE(r.ok());
+  Dfa dfa = CompileRegexToDfa(*r, static_cast<uint32_t>(sigma.size()));
+  EXPECT_LE(dfa.num_states(), 8u);  // minimal DFA is tiny
+}
+
+}  // namespace
+}  // namespace pebbletc

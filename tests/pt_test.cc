@@ -1,0 +1,400 @@
+// Tests for src/pt: the k-pebble transducer model (Def. 3.1), deterministic
+// evaluation, the Prop. 3.8 output automaton A_t, and the paper's example
+// machines (3.3 copy, 3.4 pre-order, 3.6 doubling, 3.7 rotation).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/rng.h"
+#include "src/pt/eval.h"
+#include "src/pt/paper_machines.h"
+#include "src/pt/transducer.h"
+#include "src/ta/convert.h"
+#include "src/ta/nbta.h"
+#include "src/tree/random_tree.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+namespace {
+
+using M = PebbleTransducer::MoveKind;
+
+RankedAlphabet TinyRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("a0");
+  (void)sigma.AddLeaf("b0");
+  (void)sigma.AddBinary("a2");
+  (void)sigma.AddBinary("b2");
+  return sigma;
+}
+
+// --- model validation ---
+
+TEST(PebbleTransducerTest, ValidateChecksStackDiscipline) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer t(2, 4, 4);
+  StateId q1 = t.AddState(1);
+  StateId q2 = t.AddState(2);
+  t.SetStart(q1);
+  // Place must raise level by exactly one.
+  t.AddMove({}, q1, M::kPlacePebble, q2);
+  EXPECT_TRUE(t.Validate(sigma, sigma).ok());
+
+  PebbleTransducer bad(2, 4, 4);
+  StateId b1 = bad.AddState(1);
+  bad.SetStart(b1);
+  bad.AddMove({}, b1, M::kPlacePebble, b1);  // stays level 1
+  EXPECT_FALSE(bad.Validate(sigma, sigma).ok());
+
+  PebbleTransducer bad2(2, 4, 4);
+  StateId c1 = bad2.AddState(1);
+  StateId c2 = bad2.AddState(2);
+  bad2.SetStart(c1);
+  bad2.AddMove({}, c2, M::kPickPebble, c2);  // pick must lower level
+  EXPECT_FALSE(bad2.Validate(sigma, sigma).ok());
+
+  PebbleTransducer bad3(2, 4, 4);
+  StateId d2 = bad3.AddState(2);
+  bad3.SetStart(d2);  // start must be level 1
+  EXPECT_FALSE(bad3.Validate(sigma, sigma).ok());
+}
+
+TEST(PebbleTransducerTest, ValidateChecksOutputRanks) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer t(1, 4, 4);
+  StateId q = t.AddState(1);
+  t.SetStart(q);
+  t.AddOutputLeaf({}, q, sigma.Find("a2"));  // binary symbol as leaf output
+  EXPECT_FALSE(t.Validate(sigma, sigma).ok());
+}
+
+TEST(PebbleTransducerTest, PresenceGuardsObservePebbleStack) {
+  RankedAlphabet sigma = TinyRanked();
+  // Pebble 1 stays at the root; pebble 2 is placed and possibly moved; then
+  // the machine emits a0 if both pebbles share a node, b0 otherwise.
+  auto build = [&](bool move_second) {
+    PebbleTransducer t(2, 4, 4);
+    StateId q1 = t.AddState(1);
+    StateId p = t.AddState(2);
+    StateId check = t.AddState(2);
+    t.SetStart(q1);
+    t.AddMove({}, q1, M::kPlacePebble, p);
+    if (move_second) {
+      t.AddMove({}, p, M::kDownLeft, check);
+    } else {
+      t.AddMove({}, p, M::kStay, check);
+    }
+    t.AddOutputLeaf({.presence_mask = 1, .presence_value = 1}, check,
+                    sigma.Find("a0"));
+    t.AddOutputLeaf({.presence_mask = 1, .presence_value = 0}, check,
+                    sigma.Find("b0"));
+    return t;
+  };
+  auto tree = std::move(ParseBinaryTerm("a2(a0,b0)", sigma)).ValueOrDie();
+  auto together = std::move(EvalDeterministic(build(false), tree)).ValueOrDie();
+  auto apart = std::move(EvalDeterministic(build(true), tree)).ValueOrDie();
+  EXPECT_EQ(BinaryTermString(together, sigma), "a0");
+  EXPECT_EQ(BinaryTermString(apart, sigma), "b0");
+}
+
+// --- Example 3.3: copy ---
+
+class CopyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CopyPropertyTest, CopyIsIdentity) {
+  Rng rng(GetParam());
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  ASSERT_TRUE(copy.Validate(sigma, sigma).ok());
+  EXPECT_TRUE(copy.IsDeterministic());
+  BinaryTree input = RandomBinaryTree(sigma, rng, rng.NextBelow(30));
+  auto out = std::move(EvalDeterministic(copy, input)).ValueOrDie();
+  EXPECT_TRUE(out == input);
+  // Prop. 3.8 membership agrees.
+  auto member = OutputContains(copy, input, input);
+  ASSERT_TRUE(member.ok());
+  EXPECT_TRUE(*member);
+  BinaryTree other = RandomBinaryTree(sigma, rng, rng.NextBelow(30) + 1);
+  auto member2 = OutputContains(copy, input, other);
+  ASSERT_TRUE(member2.ok());
+  EXPECT_EQ(*member2, other == input);
+  // Exactly one output.
+  auto outputs = EnumerateOutputs(copy, input, input.size(), 10);
+  ASSERT_TRUE(outputs.ok());
+  ASSERT_EQ(outputs->size(), 1u);
+  EXPECT_TRUE((*outputs)[0] == input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+// --- nondeterminism ---
+
+TEST(PebbleTransducerTest, NondeterministicOutputsEnumerated) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer t(1, 4, 4);
+  StateId q = t.AddState(1);
+  t.SetStart(q);
+  t.AddOutputLeaf({}, q, sigma.Find("a0"));
+  t.AddOutputLeaf({}, q, sigma.Find("b0"));
+  EXPECT_FALSE(t.IsDeterministic());
+  EXPECT_FALSE(EvalDeterministic(t, std::move(ParseBinaryTerm("a0", sigma))
+                                        .ValueOrDie())
+                   .ok());
+  auto tree = std::move(ParseBinaryTerm("a2(a0,b0)", sigma)).ValueOrDie();
+  auto outputs = std::move(EnumerateOutputs(t, tree, 3, 10)).ValueOrDie();
+  ASSERT_EQ(outputs.size(), 2u);
+}
+
+TEST(PebbleTransducerTest, DivergenceDetected) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer t(1, 4, 4);
+  StateId q = t.AddState(1);
+  t.SetStart(q);
+  t.AddMove({}, q, M::kStay, q);  // spin forever
+  auto tree = std::move(ParseBinaryTerm("a0", sigma)).ValueOrDie();
+  auto r = EvalDeterministic(t, tree);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PebbleTransducerTest, StuckBranchReported) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer t(1, 4, 4);
+  StateId q = t.AddState(1);
+  t.SetStart(q);  // no transitions at all
+  auto tree = std::move(ParseBinaryTerm("a0", sigma)).ValueOrDie();
+  auto r = EvalDeterministic(t, tree);
+  ASSERT_FALSE(r.ok());
+  // And the output language is empty.
+  auto outputs = std::move(EnumerateOutputs(t, tree, 20, 10)).ValueOrDie();
+  EXPECT_TRUE(outputs.empty());
+}
+
+// --- Example 3.6: doubling ---
+
+// Reference implementation of f from Example 3.6.
+BinaryTree DoubleRef(const RankedAlphabet& sigma, const BinaryTree& t,
+                     SymbolId x);
+NodeId DoubleRefNode(const BinaryTree& t, NodeId n, SymbolId x,
+                     BinaryTree* out) {
+  if (t.IsLeaf(n)) {
+    NodeId l = out->AddLeaf(t.symbol(n));
+    NodeId r = out->AddLeaf(t.symbol(n));
+    return out->AddInternal(x, l, r);
+  }
+  auto copy_child = [&]() {
+    NodeId fl = DoubleRefNode(t, t.left(n), x, out);
+    NodeId fr = DoubleRefNode(t, t.right(n), x, out);
+    return out->AddInternal(t.symbol(n), fl, fr);
+  };
+  NodeId c1 = copy_child();
+  NodeId c2 = copy_child();
+  return out->AddInternal(x, c1, c2);
+}
+BinaryTree DoubleRef(const RankedAlphabet&, const BinaryTree& t, SymbolId x) {
+  BinaryTree out;
+  out.SetRoot(DoubleRefNode(t, t.root(), x, &out));
+  return out;
+}
+
+TEST(DoublingTest, MatchesReferenceAndIsExponential) {
+  RankedAlphabet sigma = TinyRanked();
+  RankedAlphabet out_sigma = TinyRanked();
+  SymbolId x = std::move(out_sigma.AddBinary("x")).ValueOrDie();
+  auto t =
+      std::move(MakeDoublingTransducer(sigma, out_sigma, x)).ValueOrDie();
+  ASSERT_TRUE(t.Validate(sigma, out_sigma).ok());
+  EXPECT_TRUE(t.IsDeterministic());
+
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    BinaryTree input = RandomBinaryTree(sigma, rng, rng.NextBelow(5));
+    BinaryTree want = DoubleRef(sigma, input, x);
+    auto got = std::move(EvalDeterministic(t, input)).ValueOrDie();
+    EXPECT_TRUE(got == want) << BinaryTermString(input, sigma);
+  }
+
+  // Exponential output, polynomial DAG (Prop. 3.8 / Example 3.6): on a full
+  // tree of depth d the output has >2^d nodes but A_t stays linear-ish.
+  Alphabet dummy;
+  BinaryTree full;
+  std::vector<NodeId> layer;
+  for (int i = 0; i < 64; ++i) layer.push_back(full.AddLeaf(0));
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(full.AddInternal(2, layer[i], layer[i + 1]));
+    }
+    layer = next;
+  }
+  full.SetRoot(layer[0]);
+  auto direct = std::move(EvalDeterministic(t, full)).ValueOrDie();
+  auto dag = std::move(BuildOutputAutomaton(t, full)).ValueOrDie();
+  EXPECT_GT(direct.size(), 100u * full.size());  // exponential blowup
+  EXPECT_LT(dag.num_configs, 10u * full.size());  // DAG stays linear
+  // The DAG recognizes exactly the direct output.
+  EXPECT_TRUE(TopDownAccepts(dag.automaton, direct));
+}
+
+// --- Example 3.7: rotation ---
+
+struct RotationFixture {
+  RankedAlphabet sigma;
+  RankedAlphabet out_sigma;
+  RotationSymbols syms;
+  PebbleTransducer t;
+
+  RotationFixture() : t(1, 1, 1) {
+    (void)sigma.AddLeaf("e");
+    (void)sigma.AddLeaf("s");
+    (void)sigma.AddBinary("x");
+    (void)sigma.AddBinary("y");
+    (void)sigma.AddBinary("r");
+    out_sigma = sigma;
+    syms.s_leaf = sigma.Find("s");
+    syms.root_symbol = sigma.Find("r");
+    syms.new_root = std::move(out_sigma.AddBinary("r2")).ValueOrDie();
+    syms.m_leaf = std::move(out_sigma.AddLeaf("m")).ValueOrDie();
+    syms.n_leaf = std::move(out_sigma.AddLeaf("n")).ValueOrDie();
+    t = std::move(MakeRotationTransducer(sigma, out_sigma, syms)).ValueOrDie();
+  }
+};
+
+TEST(RotationTest, HandTracedExample) {
+  RotationFixture f;
+  ASSERT_TRUE(f.t.Validate(f.sigma, f.out_sigma).ok());
+  auto input = std::move(ParseBinaryTerm("r(x(e,s),e)", f.sigma)).ValueOrDie();
+  auto out = std::move(EvalDeterministic(f.t, input)).ValueOrDie();
+  EXPECT_EQ(BinaryTermString(out, f.out_sigma), "r2(m,x(r(e,n),e))");
+  EXPECT_EQ(out.size(), input.size() + 2);
+}
+
+TEST(RotationTest, DeeperRotationKeepsSizeLinear) {
+  RotationFixture f;
+  auto input = std::move(ParseBinaryTerm(
+                             "r(x(y(x(s,e),e),y(e,e)),x(e,e))", f.sigma))
+                   .ValueOrDie();
+  auto out = std::move(EvalDeterministic(f.t, input)).ValueOrDie();
+  EXPECT_EQ(out.size(), input.size() + 2);
+  // New root on top, m as its first child (counterclockwise reading).
+  EXPECT_EQ(out.symbol(out.root()), f.syms.new_root);
+  EXPECT_EQ(out.symbol(out.left(out.root())), f.syms.m_leaf);
+  // Membership via A_t agrees with direct evaluation.
+  auto member = OutputContains(f.t, input, out);
+  ASSERT_TRUE(member.ok());
+  EXPECT_TRUE(*member);
+}
+
+TEST(RotationTest, ReversesRightLinearString) {
+  // A string w encoded as a right-linear tree r(e, c1(e, c2(e, ... s)))
+  // comes back reversed along the left spine — the paper's remark that a
+  // 1-pebble transducer can reverse a string.
+  RotationFixture f;
+  auto input = std::move(ParseBinaryTerm("r(e,x(e,y(e,s)))", f.sigma))
+                   .ValueOrDie();
+  auto out = std::move(EvalDeterministic(f.t, input)).ValueOrDie();
+  // Spine from the new root reads y, x, r — the reverse of r, x, y.
+  ASSERT_EQ(BinaryTermString(out, f.out_sigma),
+            "r2(m,y(x(r(n,e),e),e))");
+}
+
+// --- Example 3.4: pre-order advance (frontier machine) ---
+
+// A transducer that emits the yield (left-to-right leaf word) of its input
+// as a cons-list, driven by the pre-order subroutine.
+PebbleTransducer MakeFrontierMachine(const RankedAlphabet& sigma,
+                                     const RankedAlphabet& out_sigma,
+                                     SymbolId root_symbol, SymbolId cons,
+                                     SymbolId nil) {
+  PebbleTransducer t(1, static_cast<uint32_t>(sigma.size()),
+                     static_cast<uint32_t>(out_sigma.size()));
+  StateId v = t.AddState(1);      // inspect the current node
+  StateId w = t.AddState(1);      // emit the current (leaf) symbol
+  StateId enter = t.AddState(1);  // pre-order advance entry
+  StateId z = t.AddState(1);      // traversal exhausted
+  t.SetStart(v);
+  for (SymbolId a : sigma.LeafSymbols()) {
+    t.AddOutputBinary({.symbol = a}, v, cons, w, enter);
+    t.AddOutputLeaf({.symbol = a}, w, a);
+  }
+  for (SymbolId a : sigma.BinarySymbols()) {
+    t.AddMove({.symbol = a}, v, PebbleTransducer::MoveKind::kStay, enter);
+  }
+  t.AddOutputLeaf({}, z, nil);
+  AttachPreorderAdvance(&t, 1, sigma, root_symbol, enter, v, z);
+  return t;
+}
+
+TEST(PreorderTest, FrontierIsLeftToRightLeafWord) {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("p");
+  (void)sigma.AddLeaf("q");
+  (void)sigma.AddBinary("x");
+  (void)sigma.AddBinary("r");
+  RankedAlphabet out_sigma = sigma;
+  SymbolId cons = std::move(out_sigma.AddBinary("cons")).ValueOrDie();
+  SymbolId nil = std::move(out_sigma.AddLeaf("nil")).ValueOrDie();
+  PebbleTransducer t =
+      MakeFrontierMachine(sigma, out_sigma, sigma.Find("r"), cons, nil);
+  ASSERT_TRUE(t.Validate(sigma, out_sigma).ok());
+  EXPECT_TRUE(t.IsDeterministic());
+
+  auto input =
+      std::move(ParseBinaryTerm("r(x(p,q),x(q,x(p,p)))", sigma)).ValueOrDie();
+  auto out = std::move(EvalDeterministic(t, input)).ValueOrDie();
+  EXPECT_EQ(BinaryTermString(out, out_sigma),
+            "cons(p,cons(q,cons(q,cons(p,cons(p,nil)))))");
+}
+
+TEST(PreorderTest, SingleLeafInput) {
+  // The traversal must also terminate on the degenerate one-node tree when
+  // the root symbol is the leaf itself.
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("r");
+  (void)sigma.AddLeaf("p");
+  (void)sigma.AddBinary("x");
+  RankedAlphabet out_sigma = sigma;
+  SymbolId cons = std::move(out_sigma.AddBinary("cons")).ValueOrDie();
+  SymbolId nil = std::move(out_sigma.AddLeaf("nil")).ValueOrDie();
+  PebbleTransducer t =
+      MakeFrontierMachine(sigma, out_sigma, sigma.Find("r"), cons, nil);
+  auto input = std::move(ParseBinaryTerm("r", sigma)).ValueOrDie();
+  auto out = std::move(EvalDeterministic(t, input)).ValueOrDie();
+  EXPECT_EQ(BinaryTermString(out, out_sigma), "cons(r,nil)");
+}
+
+// --- Prop. 3.8: configuration counts scale as O(n^k) ---
+
+TEST(OutputAutomatonTest, ConfigCountPolynomialInPebbles) {
+  RankedAlphabet sigma = TinyRanked();
+  // A 2-pebble machine that walks pebble 2 over the whole tree for every
+  // position of pebble 1 would have Θ(n²) configurations; here we just check
+  // the interface reports sane counts for the copy machine (Θ(n)).
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Rng rng(11);
+  size_t prev = 0;
+  for (size_t m : {4u, 8u, 16u, 32u}) {
+    BinaryTree input = RandomBinaryTree(sigma, rng, m);
+    auto dag = std::move(BuildOutputAutomaton(copy, input)).ValueOrDie();
+    EXPECT_LE(dag.num_configs, 3 * input.size() + 3);
+    EXPECT_GT(dag.num_configs, prev);
+    prev = dag.num_configs;
+  }
+}
+
+TEST(OutputAutomatonTest, BudgetEnforced) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Rng rng(12);
+  BinaryTree input = RandomBinaryTree(sigma, rng, 50);
+  auto r = BuildOutputAutomaton(copy, input, /*max_configs=*/5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pebbletc

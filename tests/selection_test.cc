@@ -1,0 +1,195 @@
+// Tests for src/query/selection.h: the Example 3.5 compilation of selection
+// queries (tree patterns + designated variable) to (m+2)-pebble transducers,
+// cross-validated against the direct pattern-matching semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/pt/eval.h"
+#include "src/query/selection.h"
+#include "src/tree/encode.h"
+#include "src/tree/random_tree.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+namespace {
+
+struct SelFixture {
+  Alphabet in;
+  Alphabet out;
+  EncodedAlphabet in_enc;
+  EncodedAlphabet out_enc;
+  SelectionOutputTags tags;
+
+  // `doc_text` first (to intern tags), then the query is parsed.
+  SelFixture(const std::string& doc_text, const std::string& pattern_text,
+        uint32_t selected, SelectionQuery* query, UnrankedTree* doc) {
+    *doc = std::move(ParseUnrankedTerm(doc_text, &in)).ValueOrDie();
+    query->pattern = std::move(ParsePattern(pattern_text, &in)).ValueOrDie();
+    query->selected = selected;
+    tags = ExtendAlphabetForSelection(in, &out);
+    in_enc = std::move(MakeEncodedAlphabet(in)).ValueOrDie();
+    out_enc = std::move(MakeEncodedAlphabet(out)).ValueOrDie();
+  }
+};
+
+// Runs both semantics and compares.
+void CheckAgreement(const SelFixture& s, const SelectionQuery& query,
+                    const UnrankedTree& doc) {
+  auto want =
+      std::move(EvalSelectionReference(query, doc, s.in, s.tags)).ValueOrDie();
+  auto t = std::move(CompileSelectionQuery(query, s.in_enc, s.out_enc, s.tags))
+               .ValueOrDie();
+  ASSERT_TRUE(t.Validate(s.in_enc.ranked, s.out_enc.ranked).ok());
+  EXPECT_TRUE(t.IsDeterministic());
+  auto encoded = std::move(EncodeTree(doc, s.in_enc)).ValueOrDie();
+  auto got_bin =
+      std::move(EvalDeterministic(t, encoded, /*max_steps=*/50'000'000))
+          .ValueOrDie();
+  auto got = std::move(DecodeTree(got_bin, s.out_enc)).ValueOrDie();
+  EXPECT_TRUE(got == want) << "got  " << UnrankedTermString(got, s.out)
+                           << "\nwant " << UnrankedTermString(want, s.out);
+}
+
+TEST(SelectionTest, SingleVariableLeafBindings) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(a,b,a)", "[r.a]", 0, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out), "result(item(a),item(a),end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, NoMatchesGivesEmptyResult) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(b,b)", "[r.a]", 0, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out), "result(end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, SubtreesAreCopiedWhole) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(a(x,y(x)),b)", "[r.a]", 0, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out),
+            "result(item(a(x,y(x))),end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, DescendantPathsViaStars) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  // All x nodes anywhere below the root.
+  SelFixture s("r(a(x),b(a(x),x))", "[r.(a|b)*.x]", 0, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out),
+            "result(item(x),item(x),item(x),end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, TwoVariablePattern) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  // a-children of the root that own an x; select the x.
+  SelFixture s("r(a(x,y),a(x),b(x))", "[r.a]([a.x])", 1, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out),
+            "result(item(x),item(x),end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, SelectTheParentVariable) {
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(a(x),a(y),a(x))", "[r.a]([a.x])", 0, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  EXPECT_EQ(UnrankedTermString(want, s.out),
+            "result(item(a(x)),item(a(x)),end)");
+  CheckAgreement(s, q, doc);
+}
+
+TEST(SelectionTest, CrossProductSemantics) {
+  // The Example 4.2 shape: two independent variables — quadratically many
+  // matches, one item per *tuple*.
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(a,a,a)", "[r]([r.a],[r.a])", 1, &q, &doc);
+  auto want =
+      std::move(EvalSelectionReference(q, doc, s.in, s.tags)).ValueOrDie();
+  // 3 × 3 = 9 items.
+  size_t items = 0;
+  for (NodeId c : want.children(want.root())) {
+    if (s.out.Name(want.tag(c)) == "item") ++items;
+  }
+  EXPECT_EQ(items, 9u);
+  CheckAgreement(s, q, doc);
+}
+
+class SelectionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionProperty, CompiledMachineMatchesReference) {
+  Rng rng(GetParam());
+  Alphabet in;
+  for (const char* n : {"r", "a", "x"}) in.Intern(n);
+  RandomUnrankedOptions opts;
+  opts.target_size = 1 + rng.NextBelow(8);
+  opts.max_children = 3;
+  UnrankedTree doc = RandomUnrankedTree(in, rng, opts);
+
+  SelectionQuery q;
+  const char* patterns[] = {"[(r|a|x)*.a]", "[(r|a|x)+]([a.x])",
+                            "[(r|a)*]([(r|a)*.x])"};
+  q.pattern = std::move(ParsePattern(patterns[GetParam() % 3], &in))
+                  .ValueOrDie();
+  q.selected = (GetParam() % 3 == 0) ? 0 : 1;
+
+  Alphabet out;
+  SelectionOutputTags tags = ExtendAlphabetForSelection(in, &out);
+  auto in_enc = std::move(MakeEncodedAlphabet(in)).ValueOrDie();
+  auto out_enc = std::move(MakeEncodedAlphabet(out)).ValueOrDie();
+  auto want =
+      std::move(EvalSelectionReference(q, doc, in, tags)).ValueOrDie();
+  auto t = std::move(CompileSelectionQuery(q, in_enc, out_enc, tags))
+               .ValueOrDie();
+  auto encoded = std::move(EncodeTree(doc, in_enc)).ValueOrDie();
+  auto got_bin =
+      std::move(EvalDeterministic(t, encoded, /*max_steps=*/50'000'000))
+          .ValueOrDie();
+  auto got = std::move(DecodeTree(got_bin, out_enc)).ValueOrDie();
+  EXPECT_TRUE(got == want)
+      << UnrankedTermString(doc, in) << " with " << patterns[GetParam() % 3]
+      << ":\n got  " << UnrankedTermString(got, out) << "\n want "
+      << UnrankedTermString(want, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
+                         ::testing::Range<uint64_t>(0, 18));
+
+TEST(SelectionTest, ConfigurationSpacePolynomial) {
+  // Prop. 3.8 flavor: the machine's configuration space on an input of n
+  // nodes is polynomial (here O(n^2) for a 1-variable pattern: the variable
+  // pebble × the checker).
+  SelectionQuery q;
+  UnrankedTree doc;
+  SelFixture s("r(a,a,a,a)", "[r.a]", 0, &q, &doc);
+  auto t = std::move(CompileSelectionQuery(q, s.in_enc, s.out_enc, s.tags))
+               .ValueOrDie();
+  auto encoded = std::move(EncodeTree(doc, s.in_enc)).ValueOrDie();
+  auto dag = std::move(BuildOutputAutomaton(t, encoded)).ValueOrDie();
+  const size_t n = encoded.size();
+  EXPECT_LT(dag.num_configs, t.num_states() * (n + 1) * (n + 1));
+}
+
+}  // namespace
+}  // namespace pebbletc
