@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_vs_output.dir/bench_dag_vs_output.cc.o"
+  "CMakeFiles/bench_dag_vs_output.dir/bench_dag_vs_output.cc.o.d"
+  "bench_dag_vs_output"
+  "bench_dag_vs_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_vs_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

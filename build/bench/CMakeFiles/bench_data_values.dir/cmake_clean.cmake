@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_values.dir/bench_data_values.cc.o"
+  "CMakeFiles/bench_data_values.dir/bench_data_values.cc.o.d"
+  "bench_data_values"
+  "bench_data_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverse_inference.dir/bench_inverse_inference.cc.o"
+  "CMakeFiles/bench_inverse_inference.dir/bench_inverse_inference.cc.o.d"
+  "bench_inverse_inference"
+  "bench_inverse_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverse_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

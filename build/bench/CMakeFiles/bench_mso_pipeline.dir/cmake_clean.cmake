@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mso_pipeline.dir/bench_mso_pipeline.cc.o"
+  "CMakeFiles/bench_mso_pipeline.dir/bench_mso_pipeline.cc.o.d"
+  "bench_mso_pipeline"
+  "bench_mso_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mso_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pebble_blowup.dir/bench_pebble_blowup.cc.o"
+  "CMakeFiles/bench_pebble_blowup.dir/bench_pebble_blowup.cc.o.d"
+  "bench_pebble_blowup"
+  "bench_pebble_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pebble_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restricted_cases.dir/bench_restricted_cases.cc.o"
+  "CMakeFiles/bench_restricted_cases.dir/bench_restricted_cases.cc.o.d"
+  "bench_restricted_cases"
+  "bench_restricted_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restricted_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xslt_typecheck.dir/bench_xslt_typecheck.cc.o"
+  "CMakeFiles/bench_xslt_typecheck.dir/bench_xslt_typecheck.cc.o.d"
+  "bench_xslt_typecheck"
+  "bench_xslt_typecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xslt_typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

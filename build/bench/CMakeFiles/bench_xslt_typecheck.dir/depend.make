@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_xslt_typecheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_inference.dir/inverse_inference.cpp.o"
+  "CMakeFiles/inverse_inference.dir/inverse_inference.cpp.o.d"
+  "inverse_inference"
+  "inverse_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

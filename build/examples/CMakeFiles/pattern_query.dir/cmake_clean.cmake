@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_query.dir/pattern_query.cpp.o"
+  "CMakeFiles/pattern_query.dir/pattern_query.cpp.o.d"
+  "pattern_query"
+  "pattern_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebbletc_cli.dir/pebbletc_cli.cpp.o"
+  "CMakeFiles/pebbletc_cli.dir/pebbletc_cli.cpp.o.d"
+  "pebbletc_cli"
+  "pebbletc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebbletc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_demo.dir/rotation_demo.cpp.o"
+  "CMakeFiles/rotation_demo.dir/rotation_demo.cpp.o.d"
+  "rotation_demo"
+  "rotation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xslt_pipeline.dir/xslt_pipeline.cpp.o"
+  "CMakeFiles/xslt_pipeline.dir/xslt_pipeline.cpp.o.d"
+  "xslt_pipeline"
+  "xslt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xslt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

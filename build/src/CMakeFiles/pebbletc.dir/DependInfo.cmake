@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alphabet/alphabet.cc" "src/CMakeFiles/pebbletc.dir/alphabet/alphabet.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/alphabet/alphabet.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/pebbletc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pebbletc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/pebbletc.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/downward.cc" "src/CMakeFiles/pebbletc.dir/core/downward.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/core/downward.cc.o.d"
+  "/root/repo/src/core/typechecker.cc" "src/CMakeFiles/pebbletc.dir/core/typechecker.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/core/typechecker.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/CMakeFiles/pebbletc.dir/dtd/dtd.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/dtd/dtd.cc.o.d"
+  "/root/repo/src/ext/data_values.cc" "src/CMakeFiles/pebbletc.dir/ext/data_values.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ext/data_values.cc.o.d"
+  "/root/repo/src/ext/joins.cc" "src/CMakeFiles/pebbletc.dir/ext/joins.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ext/joins.cc.o.d"
+  "/root/repo/src/graph/agap.cc" "src/CMakeFiles/pebbletc.dir/graph/agap.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/graph/agap.cc.o.d"
+  "/root/repo/src/mso/compile.cc" "src/CMakeFiles/pebbletc.dir/mso/compile.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/mso/compile.cc.o.d"
+  "/root/repo/src/mso/eval.cc" "src/CMakeFiles/pebbletc.dir/mso/eval.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/mso/eval.cc.o.d"
+  "/root/repo/src/mso/formula.cc" "src/CMakeFiles/pebbletc.dir/mso/formula.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/mso/formula.cc.o.d"
+  "/root/repo/src/mso/track_alphabet.cc" "src/CMakeFiles/pebbletc.dir/mso/track_alphabet.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/mso/track_alphabet.cc.o.d"
+  "/root/repo/src/pa/automaton.cc" "src/CMakeFiles/pebbletc.dir/pa/automaton.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pa/automaton.cc.o.d"
+  "/root/repo/src/pa/behavior.cc" "src/CMakeFiles/pebbletc.dir/pa/behavior.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pa/behavior.cc.o.d"
+  "/root/repo/src/pa/product.cc" "src/CMakeFiles/pebbletc.dir/pa/product.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pa/product.cc.o.d"
+  "/root/repo/src/pa/to_mso.cc" "src/CMakeFiles/pebbletc.dir/pa/to_mso.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pa/to_mso.cc.o.d"
+  "/root/repo/src/pt/eval.cc" "src/CMakeFiles/pebbletc.dir/pt/eval.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pt/eval.cc.o.d"
+  "/root/repo/src/pt/paper_machines.cc" "src/CMakeFiles/pebbletc.dir/pt/paper_machines.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pt/paper_machines.cc.o.d"
+  "/root/repo/src/pt/print.cc" "src/CMakeFiles/pebbletc.dir/pt/print.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pt/print.cc.o.d"
+  "/root/repo/src/pt/transducer.cc" "src/CMakeFiles/pebbletc.dir/pt/transducer.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/pt/transducer.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/CMakeFiles/pebbletc.dir/query/pattern.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/query/pattern.cc.o.d"
+  "/root/repo/src/query/selection.cc" "src/CMakeFiles/pebbletc.dir/query/selection.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/query/selection.cc.o.d"
+  "/root/repo/src/query/xslt.cc" "src/CMakeFiles/pebbletc.dir/query/xslt.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/query/xslt.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/CMakeFiles/pebbletc.dir/regex/dfa.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/regex/dfa.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/CMakeFiles/pebbletc.dir/regex/nfa.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/regex/nfa.cc.o.d"
+  "/root/repo/src/regex/path_expr.cc" "src/CMakeFiles/pebbletc.dir/regex/path_expr.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/regex/path_expr.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/CMakeFiles/pebbletc.dir/regex/regex.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/regex/regex.cc.o.d"
+  "/root/repo/src/ta/convert.cc" "src/CMakeFiles/pebbletc.dir/ta/convert.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ta/convert.cc.o.d"
+  "/root/repo/src/ta/enumerate.cc" "src/CMakeFiles/pebbletc.dir/ta/enumerate.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ta/enumerate.cc.o.d"
+  "/root/repo/src/ta/nbta.cc" "src/CMakeFiles/pebbletc.dir/ta/nbta.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ta/nbta.cc.o.d"
+  "/root/repo/src/ta/random_ta.cc" "src/CMakeFiles/pebbletc.dir/ta/random_ta.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ta/random_ta.cc.o.d"
+  "/root/repo/src/ta/topdown.cc" "src/CMakeFiles/pebbletc.dir/ta/topdown.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/ta/topdown.cc.o.d"
+  "/root/repo/src/tree/binary_tree.cc" "src/CMakeFiles/pebbletc.dir/tree/binary_tree.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/tree/binary_tree.cc.o.d"
+  "/root/repo/src/tree/encode.cc" "src/CMakeFiles/pebbletc.dir/tree/encode.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/tree/encode.cc.o.d"
+  "/root/repo/src/tree/random_tree.cc" "src/CMakeFiles/pebbletc.dir/tree/random_tree.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/tree/random_tree.cc.o.d"
+  "/root/repo/src/tree/term.cc" "src/CMakeFiles/pebbletc.dir/tree/term.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/tree/term.cc.o.d"
+  "/root/repo/src/tree/unranked_tree.cc" "src/CMakeFiles/pebbletc.dir/tree/unranked_tree.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/tree/unranked_tree.cc.o.d"
+  "/root/repo/src/xml/xml.cc" "src/CMakeFiles/pebbletc.dir/xml/xml.cc.o" "gcc" "src/CMakeFiles/pebbletc.dir/xml/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

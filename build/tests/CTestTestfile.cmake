@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/alphabet_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/ta_test[1]_include.cmake")
+include("/root/repo/build/tests/dtd_test[1]_include.cmake")
+include("/root/repo/build/tests/mso_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_test[1]_include.cmake")
+include("/root/repo/build/tests/pa_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
