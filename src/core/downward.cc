@@ -32,6 +32,17 @@ using Subset = std::vector<uint32_t>;
 Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
                                       const RankedAlphabet& input_alphabet,
                                       size_t max_states) {
+  TaOpContext ctx;
+  ctx.budgets.fastpath_max_states = max_states;
+  return DownwardProductAutomaton(t, d, input_alphabet, &ctx);
+}
+
+Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
+                                      const RankedAlphabet& input_alphabet,
+                                      TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
+  const size_t max_states =
+      ctx != nullptr ? ctx->budgets.fastpath_max_states : 0;
   if (!IsDownwardTransducer(t)) {
     return Status::InvalidArgument(
         "transducer is outside the downward fragment");
@@ -183,6 +194,9 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
       }
     }
   }
+  if (ctx != nullptr) ctx->counters.determinizations++;
+  TaCountStates(ctx, out.num_states);
+  TaCountRules(ctx, out.leaf_rules.size() + out.rules.size());
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "src/common/result.h"
 #include "src/pt/transducer.h"
 #include "src/ta/nbta.h"
+#include "src/ta/op_context.h"
 
 namespace pebbletc {
 
@@ -25,9 +26,15 @@ namespace pebbletc {
 bool IsDownwardTransducer(const PebbleTransducer& t);
 
 /// Builds a (deterministic, reachable-subset) bottom-up automaton over the
-/// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }. `max_states` bounds
-/// the subset space (0 = unlimited). Fails with kInvalidArgument if `t` is
-/// not downward or alphabets mismatch.
+/// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }. The context's
+/// `fastpath_max_states` budget bounds the subset space (0 = unlimited) and
+/// its counters accrue the construction cost. Fails with kInvalidArgument if
+/// `t` is not downward or alphabets mismatch.
+Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
+                                      const RankedAlphabet& input_alphabet,
+                                      TaOpContext* ctx);
+
+/// Convenience form: `max_states` bounds the subset space (0 = unlimited).
 Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
                                       const RankedAlphabet& input_alphabet,
                                       size_t max_states = 0);

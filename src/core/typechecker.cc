@@ -11,9 +11,26 @@
 #include "src/pt/eval.h"
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
+#include "src/ta/nbta_index.h"
 #include "src/ta/topdown.h"
 
 namespace pebbletc {
+
+namespace {
+
+// One shared budget/metrics context per pipeline run, seeded from the
+// caller-facing options.
+TaOpContext MakeContext(const TypecheckOptions& options) {
+  TaOpBudgets budgets;
+  budgets.max_det_states = options.max_det_states;
+  budgets.max_configs = options.max_configs;
+  budgets.fastpath_max_states = options.fastpath_max_states;
+  budgets.behavior_max_state_bits = options.behavior_max_state_bits;
+  budgets.behavior_max_behaviors = options.behavior_max_behaviors;
+  return TaOpContext(budgets);
+}
+
+}  // namespace
 
 Typechecker::Typechecker(const PebbleTransducer& transducer,
                          const RankedAlphabet& input_alphabet,
@@ -22,19 +39,17 @@ Typechecker::Typechecker(const PebbleTransducer& transducer,
       input_alphabet_(input_alphabet),
       output_alphabet_(output_alphabet) {}
 
-Result<bool> Typechecker::CheckOnInput(
-    const BinaryTree& input, const Nbta& output_type,
-    const TypecheckOptions& options,
+Result<bool> Typechecker::CheckOnInputImpl(
+    const BinaryTree& input, const NbtaIndex& not_tau2, TaOpContext* ctx,
     std::optional<BinaryTree>* violating_output) const {
   PEBBLETC_ASSIGN_OR_RETURN(
-      Nbta not_tau2,
-      ComplementNbta(output_type, output_alphabet_, options.max_det_states));
-  PEBBLETC_ASSIGN_OR_RETURN(
       OutputAutomaton a_t,
-      BuildOutputAutomaton(transducer_, input, options.max_configs));
-  Nbta outputs = TopDownToNbta(a_t.automaton);
-  Nbta bad = TrimNbta(IntersectNbta(outputs, not_tau2));
-  std::optional<BinaryTree> witness = WitnessTree(bad);
+      BuildOutputAutomaton(transducer_, input, ctx->budgets.max_configs));
+  Nbta outputs = TopDownToNbta(a_t.automaton, ctx);
+  // The intersection's worklist only materializes inhabited product states,
+  // so the witness search runs on it directly (no extra trim needed).
+  Nbta bad = IntersectNbta(NbtaIndex(outputs, ctx), not_tau2, ctx);
+  std::optional<BinaryTree> witness = WitnessTree(NbtaIndex(bad, ctx), ctx);
   if (witness.has_value()) {
     if (violating_output != nullptr) *violating_output = std::move(witness);
     return false;
@@ -42,17 +57,28 @@ Result<bool> Typechecker::CheckOnInput(
   return true;
 }
 
-Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& output_type,
-                                             const TypecheckOptions& options,
-                                             MsoCompileStats* stats,
-                                             std::string* method) const {
-  // Prop. 4.6: A = T × complement(τ2) accepts {t | T(t) ⊄ τ2}.
+Result<bool> Typechecker::CheckOnInput(
+    const BinaryTree& input, const Nbta& output_type,
+    const TypecheckOptions& options,
+    std::optional<BinaryTree>* violating_output) const {
+  TaOpContext ctx = MakeContext(options);
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta not_tau2,
-      ComplementNbta(output_type, output_alphabet_, options.max_det_states));
-  TopDownTA b = NbtaToTopDown(TrimNbta(not_tau2));
+      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
+  Nbta trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
+  return CheckOnInputImpl(input, NbtaIndex(trimmed, &ctx), &ctx,
+                          violating_output);
+}
+
+Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& not_tau2_trimmed,
+                                             const TypecheckOptions& options,
+                                             MsoCompileStats* stats,
+                                             std::string* method,
+                                             TaOpContext* ctx) const {
+  // Prop. 4.6: A = T × complement(τ2) accepts {t | T(t) ⊄ τ2}.
+  TopDownTA b = NbtaToTopDown(not_tau2_trimmed, ctx);
   PEBBLETC_ASSIGN_OR_RETURN(PebbleAutomaton product,
-                            TransducerTimesTopDown(transducer_, b));
+                            TransducerTimesTopDown(transducer_, b, ctx));
   // Regularize. For one pebble, behavior composition reaches machines the
   // MSO route cannot; fall back to Thm 4.7's construction otherwise.
   if (transducer_.max_pebbles() == 1) {
@@ -72,18 +98,26 @@ Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& output_type,
   MsoCompileOptions mso;
   mso.max_det_states = options.max_det_states;
   mso.stats = stats;
+  mso.ctx = ctx;
+  mso.minimize_intermediate = options.minimize_intermediate;
   if (method != nullptr) *method = "mso-complete";
   return PebbleAutomatonToNbta(product, input_alphabet_, mso);
 }
 
 Result<Nbta> Typechecker::InferInverseType(
     const Nbta& output_type, const TypecheckOptions& options) const {
+  TaOpContext ctx = MakeContext(options);
   PEBBLETC_ASSIGN_OR_RETURN(
-      Nbta bad, BadInputsAutomaton(output_type, options, nullptr, nullptr));
+      Nbta not_tau2,
+      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
+  Nbta not_tau2_trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta bad,
+      BadInputsAutomaton(not_tau2_trimmed, options, nullptr, nullptr, &ctx));
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta inverse,
-      ComplementNbta(bad, input_alphabet_, options.max_det_states));
-  return TrimNbta(inverse);
+      ComplementNbta(NbtaIndex(bad, &ctx), input_alphabet_, &ctx));
+  return TrimNbta(NbtaIndex(inverse, &ctx), &ctx);
 }
 
 Result<TypecheckResult> Typechecker::Typecheck(
@@ -94,7 +128,25 @@ Result<TypecheckResult> Typechecker::Typecheck(
   PEBBLETC_RETURN_IF_ERROR(input_type.Validate(input_alphabet_));
   PEBBLETC_RETURN_IF_ERROR(output_type.Validate(output_alphabet_));
 
+  TaOpContext ctx = MakeContext(options);
   TypecheckResult result;
+
+  // complement(τ2) is the workhorse of every pass; compute it (and its rule
+  // index) once and share it, instead of re-determinizing per pass — and,
+  // in the refutation pass, per enumerated input tree.
+  auto not_tau2_or =
+      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
+  if (!not_tau2_or.ok()) {
+    if (not_tau2_or.status().code() != StatusCode::kResourceExhausted) {
+      return not_tau2_or.status();
+    }
+    result.notes +=
+        "output-type complement: " + not_tau2_or.status().ToString() + "; ";
+    result.op_counters = ctx.counters;
+    return result;  // every pass needs the complement — inconclusive
+  }
+  Nbta not_tau2 = TrimNbta(NbtaIndex(*not_tau2_or, &ctx), &ctx);
+  NbtaIndex not_tau2_idx(not_tau2, &ctx);
 
   // Pass 1: bounded refutation — exact per-input checks on small τ1 trees.
   if (options.refutation_max_trees > 0) {
@@ -103,7 +155,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
                                options.refutation_max_trees);
     for (BinaryTree& input : inputs) {
       std::optional<BinaryTree> violating;
-      auto ok = CheckOnInput(input, output_type, options, &violating);
+      auto ok = CheckOnInputImpl(input, not_tau2_idx, &ctx, &violating);
       if (!ok.ok()) {
         result.notes += "refutation pass: " + ok.status().ToString() + "; ";
         break;
@@ -113,6 +165,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
         result.method = "bounded-refutation";
         result.counterexample_input = std::move(input);
         result.counterexample_output = std::move(violating);
+        result.op_counters = ctx.counters;
         return result;
       }
     }
@@ -122,19 +175,16 @@ Result<TypecheckResult> Typechecker::Typecheck(
   if (IsDownwardTransducer(transducer_)) {
     auto verdict = [&]() -> Result<TypecheckResult> {
       PEBBLETC_ASSIGN_OR_RETURN(
-          Nbta not_tau2, ComplementNbta(output_type, output_alphabet_,
-                                        options.max_det_states));
-      PEBBLETC_ASSIGN_OR_RETURN(
-          Dbta d, DeterminizeNbta(TrimNbta(not_tau2), output_alphabet_,
-                                  options.max_det_states));
+          Dbta d, DeterminizeNbta(not_tau2_idx, output_alphabet_, &ctx));
       PEBBLETC_ASSIGN_OR_RETURN(
           Nbta bad_inputs,
-          DownwardProductAutomaton(transducer_, d, input_alphabet_,
-                                   options.fastpath_max_states));
-      Nbta offending = TrimNbta(IntersectNbta(input_type, bad_inputs));
+          DownwardProductAutomaton(transducer_, d, input_alphabet_, &ctx));
+      Nbta offending = IntersectNbta(NbtaIndex(input_type, &ctx),
+                                     NbtaIndex(bad_inputs, &ctx), &ctx);
       TypecheckResult r;
       r.method = "downward-fastpath";
-      std::optional<BinaryTree> witness = WitnessTree(offending);
+      std::optional<BinaryTree> witness =
+          WitnessTree(NbtaIndex(offending, &ctx), &ctx);
       if (!witness.has_value()) {
         r.verdict = TypecheckVerdict::kTypechecks;
         return r;
@@ -143,7 +193,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
       // Recover a violating output for the witness input.
       std::optional<BinaryTree> violating;
       auto per_tree =
-          CheckOnInput(*witness, output_type, options, &violating);
+          CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
       if (per_tree.ok() && !*per_tree) {
         r.counterexample_output = std::move(violating);
       }
@@ -152,6 +202,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
     }();
     if (verdict.ok()) {
       verdict->notes = result.notes + verdict->notes;
+      verdict->op_counters = ctx.counters;
       return verdict;
     }
     if (verdict.status().code() != StatusCode::kResourceExhausted) {
@@ -163,23 +214,28 @@ Result<TypecheckResult> Typechecker::Typecheck(
   // Pass 3: the complete (non-elementary) decision.
   if (options.run_complete_decision) {
     std::string method = "mso-complete";
-    auto bad =
-        BadInputsAutomaton(output_type, options, &result.mso_stats, &method);
+    auto bad = BadInputsAutomaton(not_tau2, options, &result.mso_stats,
+                                  &method, &ctx);
     if (bad.ok()) {
-      Nbta offending = TrimNbta(IntersectNbta(input_type, *bad));
-      std::optional<BinaryTree> witness = WitnessTree(offending);
+      Nbta offending = IntersectNbta(NbtaIndex(input_type, &ctx),
+                                     NbtaIndex(*bad, &ctx), &ctx);
+      std::optional<BinaryTree> witness =
+          WitnessTree(NbtaIndex(offending, &ctx), &ctx);
       result.method = method;
       if (!witness.has_value()) {
         result.verdict = TypecheckVerdict::kTypechecks;
+        result.op_counters = ctx.counters;
         return result;
       }
       result.verdict = TypecheckVerdict::kCounterexample;
       std::optional<BinaryTree> violating;
-      auto per_tree = CheckOnInput(*witness, output_type, options, &violating);
+      auto per_tree =
+          CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
       if (per_tree.ok() && !*per_tree) {
         result.counterexample_output = std::move(violating);
       }
       result.counterexample_input = std::move(witness);
+      result.op_counters = ctx.counters;
       return result;
     }
     if (bad.status().code() != StatusCode::kResourceExhausted) {
@@ -190,6 +246,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
 
   result.verdict = TypecheckVerdict::kInconclusive;
   result.method = "none";
+  result.op_counters = ctx.counters;
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "src/mso/compile.h"
 #include "src/pt/transducer.h"
 #include "src/ta/nbta.h"
+#include "src/ta/op_context.h"
 #include "src/tree/binary_tree.h"
 
 namespace pebbletc {
@@ -52,6 +53,10 @@ struct TypecheckOptions {
   /// Run the complete (non-elementary) decision when cheaper passes are
   /// inconclusive.
   bool run_complete_decision = true;
+  /// Canonically minimize intermediate automata inside the MSO pipeline
+  /// (see MsoCompileOptions::minimize_intermediate). Slower per step, but
+  /// caps the state blowup feeding later complementations.
+  bool minimize_intermediate = false;
 };
 
 enum class TypecheckVerdict {
@@ -76,6 +81,10 @@ struct TypecheckResult {
   std::string notes;
   /// MSO compilation metrics when the complete pipeline ran.
   MsoCompileStats mso_stats;
+  /// Unified automaton-operation cost profile for the whole run: every pass
+  /// shares one TaOpContext, so these counters cover the complete pipeline
+  /// (states materialized, rules scanned, determinizations, wall time, ...).
+  TaOpCounters op_counters;
 };
 
 class Typechecker {
@@ -104,14 +113,25 @@ class Typechecker {
                                 nullptr) const;
 
  private:
-  // {t | T(t) ∩ inst(complement(output_type)) ≠ ∅} as a regular automaton:
-  // the Prop. 4.6 product regularized by behavior composition (1-pebble,
-  // when it fits) or the Thm 4.7 MSO route. Shared by Typecheck and
-  // InferInverseType; `*method` (if non-null) reports which route ran.
-  Result<Nbta> BadInputsAutomaton(const Nbta& output_type,
+  // {t | T(t) ∩ inst(not_tau2_trimmed) ≠ ∅} as a regular automaton, where
+  // `not_tau2_trimmed` is the (already trimmed) complement of the output
+  // type: the Prop. 4.6 product regularized by behavior composition
+  // (1-pebble, when it fits) or the Thm 4.7 MSO route. Shared by Typecheck
+  // and InferInverseType — the caller computes the complement once and both
+  // passes reuse it. `*method` (if non-null) reports which route ran.
+  Result<Nbta> BadInputsAutomaton(const Nbta& not_tau2_trimmed,
                                   const TypecheckOptions& options,
-                                  MsoCompileStats* stats,
-                                  std::string* method) const;
+                                  MsoCompileStats* stats, std::string* method,
+                                  TaOpContext* ctx) const;
+
+  // Per-input check against a pre-built index of the trimmed complement of
+  // the output type; all the per-tree work of CheckOnInput without
+  // recomputing the complement per call.
+  Result<bool> CheckOnInputImpl(const BinaryTree& input,
+                                const NbtaIndex& not_tau2,
+                                TaOpContext* ctx,
+                                std::optional<BinaryTree>* violating_output)
+      const;
 
   const PebbleTransducer& transducer_;
   const RankedAlphabet& input_alphabet_;

@@ -1,6 +1,7 @@
 #include "src/mso/compile.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/mso/track_alphabet.h"
+#include "src/ta/nbta_index.h"
 
 namespace pebbletc {
 
@@ -15,22 +17,35 @@ namespace {
 
 using K = MsoFormula::Kind;
 
+// A compiled sub-formula: the automaton together with its rule index, heap-
+// allocated so the index's internal pointer stays valid across cache moves.
+struct CompiledNbta {
+  CompiledNbta(Nbta a, TaOpContext* ctx)
+      : nbta(std::move(a)), index(nbta, ctx) {}
+  const Nbta nbta;
+  NbtaIndex index;
+};
+using CompiledPtr = std::shared_ptr<const CompiledNbta>;
+
 class Compiler {
  public:
-  Compiler(const TrackAlphabet& ext, const MsoCompileOptions& options)
-      : ext_(ext), options_(options) {}
+  Compiler(const TrackAlphabet& ext, const MsoCompileOptions& options,
+           TaOpContext* ctx)
+      : ext_(ext), options_(options), ctx_(ctx) {}
 
-  Result<Nbta> Compile(const MsoPtr& f) {
+  Result<CompiledPtr> Compile(const MsoPtr& f) {
     auto it = cache_.find(f.get());
     if (it != cache_.end()) {
       if (options_.stats != nullptr) options_.stats->cache_hits++;
       return it->second;
     }
     PEBBLETC_ASSIGN_OR_RETURN(Nbta a, CompileUncached(f));
-    a = TrimNbta(a);
-    Note(a);
-    cache_.emplace(f.get(), a);
-    return a;
+    a = TrimNbta(NbtaIndex(a, ctx_), ctx_);
+    if (options_.minimize_intermediate) MaybeMinimize(&a);
+    CompiledPtr compiled = std::make_shared<CompiledNbta>(std::move(a), ctx_);
+    Note(compiled->nbta);
+    cache_.emplace(f.get(), compiled);
+    return compiled;
   }
 
  private:
@@ -40,6 +55,20 @@ class Compiler {
     options_.stats->max_intermediate_states =
         std::max(options_.stats->max_intermediate_states,
                  static_cast<size_t>(a.num_states));
+  }
+
+  // Canonical minimization of an intermediate automaton. Best-effort: budget
+  // failures (kResourceExhausted) keep the trimmed automaton instead, and
+  // the minimized form is only adopted when it actually has fewer states
+  // (the completed DBTA's sink can make tiny automata grow).
+  void MaybeMinimize(Nbta* a) {
+    auto det = DeterminizeNbta(NbtaIndex(*a, ctx_), ext_.ranked(), ctx_);
+    if (!det.ok()) return;
+    auto min = MinimizeDbta(*det, ext_.ranked(), ctx_);
+    if (!min.ok()) return;
+    Nbta reduced =
+        TrimNbta(NbtaIndex(min->ToNbta(ext_.ranked()), ctx_), ctx_);
+    if (reduced.num_states < a->num_states) *a = std::move(reduced);
   }
 
   // Free first-order variables of f (memoized on the shared AST).
@@ -177,6 +206,11 @@ class Compiler {
     return a;
   }
 
+  // Intersection of two freshly built primitive automata.
+  Nbta IntersectFresh(Nbta l, Nbta r) {
+    return IntersectNbta(NbtaIndex(l, ctx_), NbtaIndex(r, ctx_), ctx_);
+  }
+
   Result<Nbta> CompileUncached(const MsoPtr& f) {
     switch (f->kind()) {
       case K::kTrue:
@@ -186,11 +220,11 @@ class Compiler {
       case K::kLabel: {
         const uint32_t x = f->var1();
         const SymbolId a = f->symbol();
-        return IntersectNbta(Singleton(x),
-                             LocalAll([&](SymbolId sym) {
-                               return !ext_.BitOf(sym, x) ||
-                                      ext_.BaseOf(sym) == a;
-                             }));
+        return IntersectFresh(Singleton(x),
+                              LocalAll([&](SymbolId sym) {
+                                return !ext_.BitOf(sym, x) ||
+                                       ext_.BaseOf(sym) == a;
+                              }));
       }
       case K::kSucc1:
         return Successor(f->var1(), f->var2(), /*left_child=*/true);
@@ -198,58 +232,57 @@ class Compiler {
         return Successor(f->var1(), f->var2(), /*left_child=*/false);
       case K::kEq: {
         const uint32_t x = f->var1(), y = f->var2();
-        return IntersectNbta(Singleton(x),
-                             LocalAll([&](SymbolId sym) {
-                               return ext_.BitOf(sym, x) ==
-                                      ext_.BitOf(sym, y);
-                             }));
+        return IntersectFresh(Singleton(x),
+                              LocalAll([&](SymbolId sym) {
+                                return ext_.BitOf(sym, x) ==
+                                       ext_.BitOf(sym, y);
+                              }));
       }
       case K::kIn: {
         const uint32_t x = f->var1(), set = f->var2();
-        return IntersectNbta(Singleton(x),
-                             LocalAll([&](SymbolId sym) {
-                               return !ext_.BitOf(sym, x) ||
-                                      ext_.BitOf(sym, set);
-                             }));
+        return IntersectFresh(Singleton(x),
+                              LocalAll([&](SymbolId sym) {
+                                return !ext_.BitOf(sym, x) ||
+                                       ext_.BitOf(sym, set);
+                              }));
       }
       case K::kRoot:
         return RootMarked(f->var1());
       case K::kLeaf: {
         const uint32_t x = f->var1();
-        return IntersectNbta(
+        return IntersectFresh(
             Singleton(x), LocalAll([&](SymbolId sym) {
               return !ext_.BitOf(sym, x) || ext_.ranked().Rank(sym) == 0;
             }));
       }
       case K::kNot: {
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta inner, Compile(f->left()));
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr inner, Compile(f->left()));
         if (options_.stats != nullptr) options_.stats->complementations++;
-        auto comp =
-            ComplementNbta(inner, ext_.ranked(), options_.max_det_states);
+        auto comp = ComplementNbta(inner->index, ext_.ranked(), ctx_);
         if (!comp.ok()) return comp.status();
         // Complement may accept ill-marked trees; re-impose singleton
         // validity for the free first-order variables.
         Nbta out = std::move(*comp);
         for (MsoVarId v : FreeFoVars(f)) {
-          out = IntersectNbta(out, Singleton(v));
-          out = TrimNbta(out);
+          out = IntersectFresh(std::move(out), Singleton(v));
+          out = TrimNbta(NbtaIndex(out, ctx_), ctx_);
         }
         return out;
       }
       case K::kAnd: {
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta l, Compile(f->left()));
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta r, Compile(f->right()));
-        return IntersectNbta(l, r);
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr l, Compile(f->left()));
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr r, Compile(f->right()));
+        return IntersectNbta(l->index, r->index, ctx_);
       }
       case K::kOr: {
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta l, Compile(f->left()));
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta r, Compile(f->right()));
-        return UnionNbta(l, r);
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr l, Compile(f->left()));
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr r, Compile(f->right()));
+        return UnionNbta(l->nbta, r->nbta);
       }
       case K::kExistsFo:
       case K::kExistsSo: {
-        PEBBLETC_ASSIGN_OR_RETURN(Nbta inner, Compile(f->left()));
-        return Project(inner, f->var1());
+        PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr inner, Compile(f->left()));
+        return Project(inner->nbta, f->var1());
       }
     }
     return Status::Internal("unknown MSO node kind");
@@ -262,13 +295,15 @@ class Compiler {
     const uint32_t reduced_size =
         static_cast<uint32_t>(ext_.ranked().size() >> 1);
     Nbta projected = RelabelNbta(a, drop, reduced_size);
-    return InverseRelabelNbta(projected, drop,
-                              static_cast<uint32_t>(ext_.ranked().size()));
+    return InverseRelabelNbta(NbtaIndex(projected, ctx_), drop,
+                              static_cast<uint32_t>(ext_.ranked().size()),
+                              ctx_);
   }
 
   const TrackAlphabet& ext_;
   MsoCompileOptions options_;
-  std::unordered_map<const MsoFormula*, Nbta> cache_;
+  TaOpContext* ctx_;
+  std::unordered_map<const MsoFormula*, CompiledPtr> cache_;
   std::unordered_map<const MsoFormula*, std::set<MsoVarId>> free_cache_;
 };
 
@@ -289,15 +324,20 @@ Result<Nbta> CompileMsoSentence(const MsoPtr& sentence,
       static_cast<uint32_t>(analysis.variables.size());
   PEBBLETC_ASSIGN_OR_RETURN(TrackAlphabet ext,
                             TrackAlphabet::Make(base, num_tracks));
-  Compiler compiler(ext, options);
-  PEBBLETC_ASSIGN_OR_RETURN(Nbta over_ext, compiler.Compile(sentence));
+  // Budgets: the shared pipeline context wins; otherwise run a local one
+  // seeded from the legacy max_det_states knob.
+  TaOpContext local_ctx;
+  local_ctx.budgets.max_det_states = options.max_det_states;
+  TaOpContext* ctx = options.ctx != nullptr ? options.ctx : &local_ctx;
+  Compiler compiler(ext, options, ctx);
+  PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr over_ext, compiler.Compile(sentence));
 
   // Drop all tracks at once: since the sentence has no free variables, the
   // automaton's acceptance is track-independent, so the relabeled image is
   // exactly { t | t ⊨ sentence }.
-  Nbta over_base = RelabelNbta(over_ext, ext.ToBaseMap(),
+  Nbta over_base = RelabelNbta(over_ext->nbta, ext.ToBaseMap(),
                                static_cast<uint32_t>(base.size()));
-  return TrimNbta(over_base);
+  return TrimNbta(NbtaIndex(over_base, ctx), ctx);
 }
 
 Result<bool> MsoSatisfiable(const MsoPtr& sentence, const RankedAlphabet& base,

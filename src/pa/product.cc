@@ -3,7 +3,9 @@
 namespace pebbletc {
 
 Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
-                                               const TopDownTA& b_input) {
+                                               const TopDownTA& b_input,
+                                               TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   if (b_input.num_symbols != t.num_output_symbols()) {
     return Status::InvalidArgument(
         "automaton alphabet does not match the transducer output alphabet");
@@ -52,6 +54,10 @@ Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
         break;
     }
   }
+  if (ctx != nullptr) ctx->counters.intersections++;
+  TaCountStates(ctx, static_cast<size_t>(t.num_states()) * nb);
+  TaCountRules(ctx, t.transitions().size() + b.final_pairs.size() +
+                        b.rules.size());
   return a;
 }
 

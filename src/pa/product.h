@@ -10,15 +10,19 @@
 #include "src/common/result.h"
 #include "src/pa/automaton.h"
 #include "src/pt/transducer.h"
+#include "src/ta/op_context.h"
 #include "src/ta/topdown.h"
 
 namespace pebbletc {
 
 /// Builds the Prop. 4.6 product automaton. `b` must range over the
 /// transducer's output alphabet; silent transitions in `b` are eliminated
-/// first. The result has |Q_T| · |Q_B| states and T's pebble count.
+/// first. The result has |Q_T| · |Q_B| states and T's pebble count. The
+/// optional context accrues the construction cost into the unified pipeline
+/// counters.
 Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
-                                               const TopDownTA& b);
+                                               const TopDownTA& b,
+                                               TaOpContext* ctx = nullptr);
 
 }  // namespace pebbletc
 

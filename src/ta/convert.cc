@@ -2,7 +2,8 @@
 
 namespace pebbletc {
 
-Nbta TopDownToNbta(const TopDownTA& input) {
+Nbta TopDownToNbta(const TopDownTA& input, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   const TopDownTA a = EliminateSilentTransitions(input);
   Nbta out;
   out.num_symbols = a.num_symbols;
@@ -15,10 +16,13 @@ Nbta TopDownToNbta(const TopDownTA& input) {
   for (const TopDownTA::BinaryRule& r : a.rules) {
     out.AddRule(r.symbol, r.left, r.right, r.from);
   }
+  TaCountStates(ctx, out.num_states);
+  TaCountRules(ctx, out.leaf_rules.size() + out.rules.size());
   return out;
 }
 
-TopDownTA NbtaToTopDown(const Nbta& a) {
+TopDownTA NbtaToTopDown(const Nbta& a, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   TopDownTA out;
   out.num_symbols = a.num_symbols;
   for (StateId q = 0; q < a.num_states; ++q) out.AddState();
@@ -51,6 +55,8 @@ TopDownTA NbtaToTopDown(const Nbta& a) {
       if (a.accepting[r.to]) out.AddRule(r.symbol, fresh, r.left, r.right);
     }
   }
+  TaCountStates(ctx, out.num_states);
+  TaCountRules(ctx, out.final_pairs.size() + out.rules.size());
   return out;
 }
 

@@ -1,22 +1,25 @@
 // Conversions between top-down (Def. 2.1) and bottom-up tree automata.
 // The two formalisms are expressively equivalent (Section 2.3); these
-// conversions are exact (no language change) and size-linear.
+// conversions are exact (no language change) and size-linear. The optional
+// TaOpContext accrues the conversion cost (states materialized, rules
+// scanned) into the unified pipeline counters.
 
 #ifndef PEBBLETC_TA_CONVERT_H_
 #define PEBBLETC_TA_CONVERT_H_
 
 #include "src/ta/nbta.h"
+#include "src/ta/op_context.h"
 #include "src/ta/topdown.h"
 
 namespace pebbletc {
 
 /// Reverses the transition arrows: inst(result) = inst(a). Silent
 /// transitions are eliminated first (Section 2.3 construction).
-Nbta TopDownToNbta(const TopDownTA& a);
+Nbta TopDownToNbta(const TopDownTA& a, TaOpContext* ctx = nullptr);
 
 /// Reverses back. If `a` has several accepting states a fresh start state is
 /// introduced that mirrors their rules.
-TopDownTA NbtaToTopDown(const Nbta& a);
+TopDownTA NbtaToTopDown(const Nbta& a, TaOpContext* ctx = nullptr);
 
 }  // namespace pebbletc
 

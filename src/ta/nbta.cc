@@ -4,11 +4,12 @@
 #include <limits>
 #include <map>
 #include <set>
-#include <queue>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/ta/nbta_index.h"
 
 namespace pebbletc {
 
@@ -41,40 +42,75 @@ Status Nbta::Validate(const RankedAlphabet& alphabet) const {
   return Status::OK();
 }
 
-std::vector<std::vector<bool>> Nbta::RunStates(const BinaryTree& tree) const {
+std::vector<std::vector<bool>> NbtaRunStates(const NbtaIndex& idx,
+                                             const BinaryTree& tree) {
+  const Nbta& a = idx.nbta();
   // Children are always created before parents, so ascending NodeId order is
   // a valid bottom-up evaluation order.
   std::vector<std::vector<bool>> states(tree.size(),
-                                        std::vector<bool>(num_states, false));
-  // Index rules by symbol once.
-  std::vector<std::vector<const BinaryRule*>> by_symbol(num_symbols);
-  for (const BinaryRule& r : rules) by_symbol[r.symbol].push_back(&r);
-  std::vector<std::vector<StateId>> leaf_by_symbol(num_symbols);
-  for (const LeafRule& r : leaf_rules) leaf_by_symbol[r.symbol].push_back(r.to);
-
+                                        std::vector<bool>(a.num_states, false));
   for (NodeId n = 0; n < tree.size(); ++n) {
     const SymbolId sym = tree.symbol(n);
     if (tree.IsLeaf(n)) {
-      for (StateId q : leaf_by_symbol[sym]) states[n][q] = true;
+      for (StateId q : idx.LeafTargets(sym)) states[n][q] = true;
     } else {
       const auto& ls = states[tree.left(n)];
       const auto& rs = states[tree.right(n)];
-      for (const BinaryRule* r : by_symbol[sym]) {
-        if (ls[r->left] && rs[r->right]) states[n][r->to] = true;
+      for (uint32_t ri : idx.RulesWithSymbol(sym)) {
+        const Nbta::BinaryRule& r = a.rules[ri];
+        if (ls[r.left] && rs[r.right]) states[n][r.to] = true;
       }
     }
   }
   return states;
 }
 
-bool Nbta::Accepts(const BinaryTree& tree) const {
+bool NbtaAccepts(const NbtaIndex& idx, const BinaryTree& tree) {
+  const Nbta& a = idx.nbta();
   if (tree.empty()) return false;
-  std::vector<std::vector<bool>> states = RunStates(tree);
-  const auto& root_states = states[tree.root()];
-  for (StateId q = 0; q < num_states; ++q) {
-    if (root_states[q] && accepting[q]) return true;
+  const NodeId root = tree.root();
+  std::vector<std::vector<bool>> states(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    const SymbolId sym = tree.symbol(n);
+    if (tree.IsLeaf(n)) {
+      if (n == root) {
+        // Early exit: accept as soon as one accepting leaf rule fires.
+        for (StateId q : idx.LeafTargets(sym)) {
+          if (a.accepting[q]) return true;
+        }
+        return false;
+      }
+      std::vector<bool> out(a.num_states, false);
+      for (StateId q : idx.LeafTargets(sym)) out[q] = true;
+      states[n] = std::move(out);
+    } else {
+      const auto& ls = states[tree.left(n)];
+      const auto& rs = states[tree.right(n)];
+      if (n == root) {
+        // Early exit: no need to materialize the full root bitset.
+        for (uint32_t ri : idx.RulesWithSymbol(sym)) {
+          const Nbta::BinaryRule& r = a.rules[ri];
+          if (a.accepting[r.to] && ls[r.left] && rs[r.right]) return true;
+        }
+        return false;
+      }
+      std::vector<bool> out(a.num_states, false);
+      for (uint32_t ri : idx.RulesWithSymbol(sym)) {
+        const Nbta::BinaryRule& r = a.rules[ri];
+        if (ls[r.left] && rs[r.right]) out[r.to] = true;
+      }
+      states[n] = std::move(out);
+    }
   }
-  return false;
+  return false;  // root outside the node range (cannot happen for valid trees)
+}
+
+std::vector<std::vector<bool>> Nbta::RunStates(const BinaryTree& tree) const {
+  return NbtaRunStates(NbtaIndex(*this), tree);
+}
+
+bool Nbta::Accepts(const BinaryTree& tree) const {
+  return NbtaAccepts(NbtaIndex(*this), tree);
 }
 
 Dbta::Dbta(uint32_t num_states, uint32_t num_symbols)
@@ -123,20 +159,15 @@ using Subset = std::vector<StateId>;  // sorted, unique
 
 }  // namespace
 
-Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
-                             size_t max_states) {
+Result<Dbta> DeterminizeNbta(const NbtaIndex& idx,
+                             const RankedAlphabet& alphabet, TaOpContext* ctx) {
+  const Nbta& a = idx.nbta();
   if (alphabet.size() != a.num_symbols) {
     return Status::InvalidArgument("alphabet size mismatch in determinize");
   }
-  // Rule index: by symbol, then by left state: (right, to).
-  std::vector<std::vector<std::vector<std::pair<StateId, StateId>>>> idx(
-      a.num_symbols);
-  for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    idx[s].assign(a.num_states, {});
-  }
-  for (const Nbta::BinaryRule& r : a.rules) {
-    idx[r.symbol][r.left].push_back({r.right, r.to});
-  }
+  TaOpTimer timer(ctx);
+  const size_t max_states = TaBudgetMaxDetStates(ctx);
+  size_t rules_scanned = 0;
 
   std::map<Subset, StateId> index;
   std::vector<Subset> subsets;
@@ -147,21 +178,18 @@ Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
   };
 
   // Leaf subsets.
-  std::vector<Subset> leaf_subset(a.num_symbols);
-  for (const Nbta::LeafRule& r : a.leaf_rules) {
-    leaf_subset[r.symbol].push_back(r.to);
-  }
   std::vector<StateId> leaf_state(a.num_symbols);
   intern({});  // ensure the empty (sink) subset exists as state 0
   for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    Subset set = leaf_subset[s];
+    std::span<const StateId> targets = idx.LeafTargets(s);
+    Subset set(targets.begin(), targets.end());
     std::sort(set.begin(), set.end());
     set.erase(std::unique(set.begin(), set.end()), set.end());
     leaf_state[s] = intern(std::move(set));
   }
 
-  // Fixpoint over symbol × subset × subset. `table[sym]` is resized as the
-  // subset list grows; recomputation passes continue until no new subsets.
+  // Fixpoint over symbol × subset × subset, using the compiled
+  // (symbol, left-state) adjacency; passes continue until no new subsets.
   auto successor = [&](SymbolId sym, const Subset& s1,
                        const Subset& s2) -> Subset {
     std::vector<bool> in2(a.num_states, false);
@@ -169,10 +197,12 @@ Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
     std::vector<bool> out_set(a.num_states, false);
     Subset out;
     for (StateId q1 : s1) {
-      for (const auto& [right, to] : idx[sym][q1]) {
-        if (in2[right] && !out_set[to]) {
-          out_set[to] = true;
-          out.push_back(to);
+      std::span<const NbtaIndex::RightTo> row = idx.SymbolLeft(sym, q1);
+      rules_scanned += row.size();
+      for (const NbtaIndex::RightTo& rt : row) {
+        if (in2[rt.right] && !out_set[rt.to]) {
+          out_set[rt.to] = true;
+          out.push_back(rt.to);
         }
       }
     }
@@ -187,12 +217,13 @@ Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
     changed = false;
     const size_t snapshot = subsets.size();
     if (max_states != 0 && snapshot > max_states) {
+      TaCountRules(ctx, rules_scanned);
       return Status::ResourceExhausted(
           "determinization exceeded state budget of " +
           std::to_string(max_states));
     }
     for (SymbolId s = 0; s < a.num_symbols; ++s) {
-      if (idx[s].empty()) continue;
+      if (idx.RulesWithSymbol(s).empty()) continue;
       for (StateId i = 0; i < snapshot; ++i) {
         for (StateId j = 0; j < snapshot; ++j) {
           auto key = std::make_tuple(s, i, j);
@@ -205,6 +236,7 @@ Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
     }
     if (subsets.size() > static_cast<size_t>(snapshot)) changed = true;
   }
+  TaCountRules(ctx, rules_scanned);
 
   const size_t n = subsets.size();
   if (max_states != 0 && n > max_states) {
@@ -236,21 +268,43 @@ Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
       }
     }
   }
+  if (ctx != nullptr) {
+    ctx->counters.determinizations++;
+    ctx->counters.states_materialized += n;
+  }
   return out;
 }
 
-Result<Nbta> ComplementNbta(const Nbta& a, const RankedAlphabet& alphabet,
-                            size_t max_states) {
-  PEBBLETC_ASSIGN_OR_RETURN(Dbta det, DeterminizeNbta(a, alphabet, max_states));
+Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
+                             size_t max_states) {
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = max_states;
+  return DeterminizeNbta(NbtaIndex(a), alphabet, &ctx);
+}
+
+Result<Nbta> ComplementNbta(const NbtaIndex& a, const RankedAlphabet& alphabet,
+                            TaOpContext* ctx) {
+  PEBBLETC_ASSIGN_OR_RETURN(Dbta det, DeterminizeNbta(a, alphabet, ctx));
+  if (ctx != nullptr) ctx->counters.complementations++;
   for (StateId q = 0; q < det.num_states(); ++q) {
     det.set_accepting(q, !det.accepting(q));
   }
   return det.ToNbta(alphabet);
 }
 
-Nbta IntersectNbta(const Nbta& a, const Nbta& b) {
+Result<Nbta> ComplementNbta(const Nbta& a, const RankedAlphabet& alphabet,
+                            size_t max_states) {
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = max_states;
+  return ComplementNbta(NbtaIndex(a), alphabet, &ctx);
+}
+
+Nbta IntersectNbta(const NbtaIndex& ia, const NbtaIndex& ib, TaOpContext* ctx) {
+  const Nbta& a = ia.nbta();
+  const Nbta& b = ib.nbta();
   PEBBLETC_CHECK(a.num_symbols == b.num_symbols)
       << "intersection over mismatched alphabets";
+  TaOpTimer timer(ctx);
   Nbta out;
   out.num_symbols = a.num_symbols;
 
@@ -269,59 +323,53 @@ Nbta IntersectNbta(const Nbta& a, const Nbta& b) {
   };
 
   // Leaf pairs seed the worklist.
-  std::vector<std::vector<const Nbta::LeafRule*>> leaf_a(a.num_symbols),
-      leaf_b(b.num_symbols);
-  for (const auto& r : a.leaf_rules) leaf_a[r.symbol].push_back(&r);
-  for (const auto& r : b.leaf_rules) leaf_b[r.symbol].push_back(&r);
   for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    for (const auto* ra : leaf_a[s]) {
-      for (const auto* rb : leaf_b[s]) {
-        out.AddLeafRule(s, intern(ra->to, rb->to));
+    for (StateId ta : ia.LeafTargets(s)) {
+      for (StateId tb : ib.LeafTargets(s)) {
+        out.AddLeafRule(s, intern(ta, tb));
       }
     }
   }
 
-  // Rule indexes by child state, so each discovered pair only visits the
-  // rules that mention it.
-  std::vector<std::vector<uint32_t>> a_by_left(a.num_states),
-      a_by_right(a.num_states);
-  for (uint32_t i = 0; i < a.rules.size(); ++i) {
-    a_by_left[a.rules[i].left].push_back(i);
-    a_by_right[a.rules[i].right].push_back(i);
-  }
-  std::vector<std::vector<uint32_t>> b_by_left(b.num_states),
-      b_by_right(b.num_states);
-  for (uint32_t i = 0; i < b.rules.size(); ++i) {
-    b_by_left[b.rules[i].left].push_back(i);
-    b_by_right[b.rules[i].right].push_back(i);
-  }
-
   // Each (a-rule, b-rule) combination is emitted at most once.
+  size_t rules_scanned = 0;
   std::set<std::pair<uint32_t, uint32_t>> emitted;
-  auto try_emit = [&](uint32_t ia, uint32_t ib) {
-    const auto& ra = a.rules[ia];
-    const auto& rb = b.rules[ib];
+  auto try_emit = [&](uint32_t ra_i, uint32_t rb_i) {
+    ++rules_scanned;
+    const auto& ra = a.rules[ra_i];
+    const auto& rb = b.rules[rb_i];
     if (ra.symbol != rb.symbol) return;
     auto l = index.find({ra.left, rb.left});
     if (l == index.end()) return;
     auto r = index.find({ra.right, rb.right});
     if (r == index.end()) return;
-    if (!emitted.emplace(ia, ib).second) return;
+    if (!emitted.emplace(ra_i, rb_i).second) return;
     StateId to = intern(ra.to, rb.to);
     out.AddRule(ra.symbol, l->second, r->second, to);
   };
 
+  // The compiled by-child adjacency means each discovered pair only visits
+  // the rules that mention it.
   while (!worklist.empty()) {
     auto [xa, xb] = worklist.back();
     worklist.pop_back();
-    for (uint32_t ia : a_by_left[xa]) {
-      for (uint32_t ib : b_by_left[xb]) try_emit(ia, ib);
+    for (uint32_t ra_i : ia.RulesWithLeft(xa)) {
+      for (uint32_t rb_i : ib.RulesWithLeft(xb)) try_emit(ra_i, rb_i);
     }
-    for (uint32_t ia : a_by_right[xa]) {
-      for (uint32_t ib : b_by_right[xb]) try_emit(ia, ib);
+    for (uint32_t ra_i : ia.RulesWithRight(xa)) {
+      for (uint32_t rb_i : ib.RulesWithRight(xb)) try_emit(ra_i, rb_i);
     }
   }
+  if (ctx != nullptr) {
+    ctx->counters.intersections++;
+    ctx->counters.states_materialized += out.num_states;
+    ctx->counters.rules_scanned += rules_scanned;
+  }
   return out;
+}
+
+Nbta IntersectNbta(const Nbta& a, const Nbta& b) {
+  return IntersectNbta(NbtaIndex(a), NbtaIndex(b), nullptr);
 }
 
 Nbta UnionNbta(const Nbta& a, const Nbta& b) {
@@ -351,18 +399,30 @@ Nbta UnionNbta(const Nbta& a, const Nbta& b) {
 
 namespace {
 
-// States inhabited by at least one tree.
-std::vector<bool> InhabitedStates(const Nbta& a) {
+// States inhabited by at least one tree, worklist-driven off the compiled
+// by-child adjacency: each rule is inspected at most twice (once per child
+// becoming inhabited).
+std::vector<bool> InhabitedStates(const NbtaIndex& idx) {
+  const Nbta& a = idx.nbta();
   std::vector<bool> inhabited(a.num_states, false);
-  for (const auto& r : a.leaf_rules) inhabited[r.to] = true;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& r : a.rules) {
-      if (!inhabited[r.to] && inhabited[r.left] && inhabited[r.right]) {
-        inhabited[r.to] = true;
-        changed = true;
-      }
+  std::vector<StateId> work;
+  auto mark = [&](StateId q) {
+    if (!inhabited[q]) {
+      inhabited[q] = true;
+      work.push_back(q);
+    }
+  };
+  for (const auto& r : a.leaf_rules) mark(r.to);
+  while (!work.empty()) {
+    StateId q = work.back();
+    work.pop_back();
+    for (uint32_t ri : idx.RulesWithLeft(q)) {
+      const Nbta::BinaryRule& r = a.rules[ri];
+      if (inhabited[r.right]) mark(r.to);
+    }
+    for (uint32_t ri : idx.RulesWithRight(q)) {
+      const Nbta::BinaryRule& r = a.rules[ri];
+      if (inhabited[r.left]) mark(r.to);
     }
   }
   return inhabited;
@@ -370,49 +430,73 @@ std::vector<bool> InhabitedStates(const Nbta& a) {
 
 }  // namespace
 
-bool IsEmptyNbta(const Nbta& a) {
-  std::vector<bool> inhabited = InhabitedStates(a);
-  for (StateId q = 0; q < a.num_states; ++q) {
-    if (inhabited[q] && a.accepting[q]) return false;
+bool IsEmptyNbta(const NbtaIndex& idx, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
+  const Nbta& a = idx.nbta();
+  TaCountRules(ctx, a.leaf_rules.size() + a.rules.size());
+  std::vector<bool> inhabited = InhabitedStates(idx);
+  for (StateId q : idx.AcceptingStates()) {
+    if (inhabited[q]) return false;
   }
   return true;
 }
 
-std::optional<BinaryTree> WitnessTree(const Nbta& a) {
-  // Minimal witness sizes per state, Dijkstra-style over the hypergraph.
+bool IsEmptyNbta(const Nbta& a) { return IsEmptyNbta(NbtaIndex(a), nullptr); }
+
+std::optional<BinaryTree> WitnessTree(const NbtaIndex& idx, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
+  const Nbta& a = idx.nbta();
+  // Minimal witness sizes per state: worklist relaxation over the rule
+  // hypergraph via the by-child adjacency (each improvement re-examines only
+  // the rules mentioning the improved state).
   constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
   std::vector<uint64_t> best(a.num_states, kInf);
   // The realizing rule for each state: leaf (symbol) or binary (rule index).
   std::vector<int64_t> via_leaf(a.num_states, -1);
   std::vector<int64_t> via_rule(a.num_states, -1);
+  std::vector<StateId> work;
+  std::vector<bool> queued(a.num_states, false);
+  auto push = [&](StateId q) {
+    if (!queued[q]) {
+      queued[q] = true;
+      work.push_back(q);
+    }
+  };
 
   for (const auto& r : a.leaf_rules) {
     if (best[r.to] > 1) {
       best[r.to] = 1;
       via_leaf[r.to] = r.symbol;
       via_rule[r.to] = -1;
+      push(r.to);
     }
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t i = 0; i < a.rules.size(); ++i) {
-      const auto& r = a.rules[i];
-      if (best[r.left] == kInf || best[r.right] == kInf) continue;
-      uint64_t cost = best[r.left] + best[r.right] + 1;
-      if (cost < best[r.to]) {
-        best[r.to] = cost;
-        via_rule[r.to] = static_cast<int64_t>(i);
-        via_leaf[r.to] = -1;
-        changed = true;
-      }
+  size_t rules_scanned = 0;
+  auto relax = [&](uint32_t ri) {
+    ++rules_scanned;
+    const Nbta::BinaryRule& r = a.rules[ri];
+    if (best[r.left] == kInf || best[r.right] == kInf) return;
+    uint64_t cost = best[r.left] + best[r.right] + 1;
+    if (cost < best[r.to]) {
+      best[r.to] = cost;
+      via_rule[r.to] = static_cast<int64_t>(ri);
+      via_leaf[r.to] = -1;
+      push(r.to);
     }
+  };
+  while (!work.empty()) {
+    StateId q = work.back();
+    work.pop_back();
+    queued[q] = false;
+    for (uint32_t ri : idx.RulesWithLeft(q)) relax(ri);
+    for (uint32_t ri : idx.RulesWithRight(q)) relax(ri);
   }
+  TaCountRules(ctx, rules_scanned);
 
   StateId target = kNoSymbol;
   uint64_t target_size = kInf;
-  for (StateId q = 0; q < a.num_states; ++q) {
-    if (a.accepting[q] && best[q] < target_size) {
+  for (StateId q : idx.AcceptingStates()) {
+    if (best[q] < target_size) {
       target_size = best[q];
       target = q;
     }
@@ -453,41 +537,67 @@ std::optional<BinaryTree> WitnessTree(const Nbta& a) {
   return tree;
 }
 
+std::optional<BinaryTree> WitnessTree(const Nbta& a) {
+  return WitnessTree(NbtaIndex(a), nullptr);
+}
+
+Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
+                          const RankedAlphabet& alphabet, TaOpContext* ctx) {
+  PEBBLETC_ASSIGN_OR_RETURN(
+      Nbta not_super, ComplementNbta(NbtaIndex(super, ctx), alphabet, ctx));
+  Nbta bad =
+      IntersectNbta(NbtaIndex(sub, ctx), NbtaIndex(not_super, ctx), ctx);
+  return IsEmptyNbta(NbtaIndex(bad, ctx), ctx);
+}
+
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet, size_t max_states) {
-  PEBBLETC_ASSIGN_OR_RETURN(Nbta not_super,
-                            ComplementNbta(super, alphabet, max_states));
-  return IsEmptyNbta(IntersectNbta(sub, not_super));
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = max_states;
+  return NbtaIncludes(super, sub, alphabet, &ctx);
+}
+
+Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
+                            const RankedAlphabet& alphabet, TaOpContext* ctx) {
+  PEBBLETC_ASSIGN_OR_RETURN(bool ab, NbtaIncludes(b, a, alphabet, ctx));
+  if (!ab) return false;
+  return NbtaIncludes(a, b, alphabet, ctx);
 }
 
 Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
                             const RankedAlphabet& alphabet,
                             size_t max_states) {
-  PEBBLETC_ASSIGN_OR_RETURN(bool ab, NbtaIncludes(b, a, alphabet, max_states));
-  if (!ab) return false;
-  return NbtaIncludes(a, b, alphabet, max_states);
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = max_states;
+  return NbtaEquivalent(a, b, alphabet, &ctx);
 }
 
-Nbta TrimNbta(const Nbta& a) {
-  std::vector<bool> inhabited = InhabitedStates(a);
-  // Co-reachable: can contribute to an accepted run.
+Nbta TrimNbta(const NbtaIndex& idx, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
+  const Nbta& a = idx.nbta();
+  std::vector<bool> inhabited = InhabitedStates(idx);
+  // Co-reachable: can contribute to an accepted run. Worklist over the
+  // reverse by-target adjacency; each rule is visited once (when its target
+  // is popped).
   std::vector<bool> useful(a.num_states, false);
-  for (StateId q = 0; q < a.num_states; ++q) {
-    useful[q] = a.accepting[q] && inhabited[q];
+  std::vector<StateId> work;
+  auto mark = [&](StateId q) {
+    if (!useful[q]) {
+      useful[q] = true;
+      work.push_back(q);
+    }
+  };
+  for (StateId q : idx.AcceptingStates()) {
+    if (inhabited[q]) mark(q);
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& r : a.rules) {
-      if (useful[r.to] && inhabited[r.left] && inhabited[r.right]) {
-        if (!useful[r.left]) {
-          useful[r.left] = true;
-          changed = true;
-        }
-        if (!useful[r.right]) {
-          useful[r.right] = true;
-          changed = true;
-        }
+  while (!work.empty()) {
+    StateId q = work.back();
+    work.pop_back();
+    for (uint32_t ri : idx.RulesWithTarget(q)) {
+      const Nbta::BinaryRule& r = a.rules[ri];
+      if (inhabited[r.left] && inhabited[r.right]) {
+        mark(r.left);
+        mark(r.right);
       }
     }
   }
@@ -512,29 +622,40 @@ Nbta TrimNbta(const Nbta& a) {
   }
   // Guarantee at least one state so downstream code can assume non-zero.
   if (out.num_states == 0) out.AddState();
+  if (ctx != nullptr) {
+    ctx->counters.trims++;
+    ctx->counters.states_materialized += out.num_states;
+    ctx->counters.rules_scanned += a.leaf_rules.size() + 2 * a.rules.size();
+  }
+  return out;
+}
+
+Nbta TrimNbta(const Nbta& a) { return TrimNbta(NbtaIndex(a), nullptr); }
+
+Nbta InverseRelabelNbta(const NbtaIndex& idx, const std::vector<SymbolId>& map,
+                        uint32_t new_num_symbols, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
+  const Nbta& a = idx.nbta();
+  Nbta out;
+  out.num_states = a.num_states;
+  out.accepting = a.accepting;
+  out.num_symbols = new_num_symbols;
+  for (SymbolId big = 0; big < new_num_symbols; ++big) {
+    PEBBLETC_CHECK(big < map.size() && map[big] < a.num_symbols)
+        << "unmapped symbol " << big;
+    for (StateId to : idx.LeafTargets(map[big])) out.AddLeafRule(big, to);
+    for (uint32_t ri : idx.RulesWithSymbol(map[big])) {
+      const Nbta::BinaryRule& r = a.rules[ri];
+      out.AddRule(big, r.left, r.right, r.to);
+    }
+  }
+  TaCountRules(ctx, out.leaf_rules.size() + out.rules.size());
   return out;
 }
 
 Nbta InverseRelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
                         uint32_t new_num_symbols) {
-  Nbta out;
-  out.num_states = a.num_states;
-  out.accepting = a.accepting;
-  out.num_symbols = new_num_symbols;
-  // Index original rules by symbol.
-  std::vector<std::vector<const Nbta::LeafRule*>> leaf_by(a.num_symbols);
-  for (const auto& r : a.leaf_rules) leaf_by[r.symbol].push_back(&r);
-  std::vector<std::vector<const Nbta::BinaryRule*>> bin_by(a.num_symbols);
-  for (const auto& r : a.rules) bin_by[r.symbol].push_back(&r);
-  for (SymbolId big = 0; big < new_num_symbols; ++big) {
-    PEBBLETC_CHECK(big < map.size() && map[big] < a.num_symbols)
-        << "unmapped symbol " << big;
-    for (const auto* r : leaf_by[map[big]]) out.AddLeafRule(big, r->to);
-    for (const auto* r : bin_by[map[big]]) {
-      out.AddRule(big, r->left, r->right, r->to);
-    }
-  }
-  return out;
+  return InverseRelabelNbta(NbtaIndex(a), map, new_num_symbols, nullptr);
 }
 
 Nbta RelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
@@ -556,10 +677,12 @@ Nbta RelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
   return out;
 }
 
-Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet) {
+Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet,
+                          TaOpContext* ctx) {
   if (alphabet.size() != d.num_symbols()) {
     return Status::InvalidArgument("alphabet size mismatch in minimize");
   }
+  TaOpTimer timer(ctx);
   const uint32_t n = d.num_states();
 
   // Inhabited states (reachable bottom-up); everything else collapses into
@@ -661,6 +784,10 @@ Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet) {
       out.SetNext(a, sink, bi, sink);
     }
     out.SetNext(a, sink, sink, sink);
+  }
+  if (ctx != nullptr) {
+    ctx->counters.minimizations++;
+    ctx->counters.states_materialized += out.num_states();
   }
   return out;
 }

@@ -7,6 +7,12 @@
 // Bottom-up NTAs are the library's canonical representation of a *type*
 // (regular tree language); top-down automata (Def. 2.1) convert losslessly in
 // both directions (see src/ta/convert.h).
+//
+// Operations come in two flavors: a primary form consuming a compiled
+// NbtaIndex (src/ta/nbta_index.h) — build the index once per automaton and
+// share it across every operation — and a convenience form taking a bare
+// Nbta that compiles a throwaway index internally. Budgets and counters
+// thread through an optional TaOpContext (src/ta/op_context.h).
 
 #ifndef PEBBLETC_TA_NBTA_H_
 #define PEBBLETC_TA_NBTA_H_
@@ -18,9 +24,12 @@
 #include "src/alphabet/alphabet.h"
 #include "src/common/result.h"
 #include "src/regex/nfa.h"  // StateId
+#include "src/ta/op_context.h"
 #include "src/tree/binary_tree.h"
 
 namespace pebbletc {
+
+class NbtaIndex;
 
 /// A nondeterministic bottom-up tree automaton. A run assigns each leaf
 /// labelled `a` some state q with a leaf rule a → q, and each internal node
@@ -61,12 +70,24 @@ struct Nbta {
   Status Validate(const RankedAlphabet& alphabet) const;
 
   /// The set of states the subtree rooted at each node can evaluate to;
-  /// returns per-node state bitsets (indexed by NodeId).
+  /// returns per-node state bitsets (indexed by NodeId). Compiles a
+  /// throwaway index; prefer NbtaRunStates with a shared one.
   std::vector<std::vector<bool>> RunStates(const BinaryTree& tree) const;
 
-  /// Membership: does this automaton accept `tree`?
+  /// Membership: does this automaton accept `tree`? Compiles a throwaway
+  /// index; prefer NbtaAccepts with a shared one.
   bool Accepts(const BinaryTree& tree) const;
 };
+
+/// Per-node reachable-state bitsets (see Nbta::RunStates), off a shared
+/// index.
+std::vector<std::vector<bool>> NbtaRunStates(const NbtaIndex& a,
+                                             const BinaryTree& tree);
+
+/// Membership off a shared index. Short-circuits at the root: returns as
+/// soon as one accepting root state is derivable instead of materializing
+/// the full root bitset.
+bool NbtaAccepts(const NbtaIndex& a, const BinaryTree& tree);
 
 /// A deterministic, complete bottom-up automaton: exactly one state per
 /// (symbol, child states) combination. Complementation is a flag flip.
@@ -109,53 +130,70 @@ class Dbta {
 };
 
 /// Subset construction (only reachable subsets are materialized). May be
-/// exponential; `max_states` (0 = unlimited) aborts with kResourceExhausted
-/// beyond the budget. `alphabet` supplies symbol ranks so that only
-/// rank-valid transitions are explored.
+/// exponential; the context's `max_det_states` budget (0 = unlimited) aborts
+/// with kResourceExhausted beyond it. `alphabet` supplies symbol ranks so
+/// that only rank-valid transitions are explored.
+Result<Dbta> DeterminizeNbta(const NbtaIndex& a, const RankedAlphabet& alphabet,
+                             TaOpContext* ctx = nullptr);
 Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
                              size_t max_states = 0);
 
 /// Complement *relative to well-ranked trees*: accepts exactly the trees over
 /// `alphabet` that `a` rejects. Goes through determinization.
+Result<Nbta> ComplementNbta(const NbtaIndex& a, const RankedAlphabet& alphabet,
+                            TaOpContext* ctx = nullptr);
 Result<Nbta> ComplementNbta(const Nbta& a, const RankedAlphabet& alphabet,
                             size_t max_states = 0);
 
 /// Language intersection via the product construction (no determinization).
+Nbta IntersectNbta(const NbtaIndex& a, const NbtaIndex& b,
+                   TaOpContext* ctx = nullptr);
 Nbta IntersectNbta(const Nbta& a, const Nbta& b);
 
 /// Language union via disjoint sum (no determinization).
 Nbta UnionNbta(const Nbta& a, const Nbta& b);
 
 /// True iff inst(a) = ∅.
+bool IsEmptyNbta(const NbtaIndex& a, TaOpContext* ctx = nullptr);
 bool IsEmptyNbta(const Nbta& a);
 
 /// A size-minimal witness tree, or nullopt if the language is empty.
+std::optional<BinaryTree> WitnessTree(const NbtaIndex& a,
+                                      TaOpContext* ctx = nullptr);
 std::optional<BinaryTree> WitnessTree(const Nbta& a);
 
-/// inst(sub) ⊆ inst(super)? Exponential in |super| (complementation);
-/// `max_states` bounds the determinization.
+/// inst(sub) ⊆ inst(super)? Exponential in |super| (complementation); the
+/// determinization budget applies.
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet,
                           size_t max_states = 0);
+Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
+                          const RankedAlphabet& alphabet, TaOpContext* ctx);
 
 /// inst(a) = inst(b)?
 Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
                             const RankedAlphabet& alphabet,
                             size_t max_states = 0);
+Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
+                            const RankedAlphabet& alphabet, TaOpContext* ctx);
 
 /// Removes states that are not inhabited (reachable bottom-up) or not
 /// co-reachable (cannot lead to acceptance); shrinks rule lists accordingly.
+Nbta TrimNbta(const NbtaIndex& a, TaOpContext* ctx = nullptr);
 Nbta TrimNbta(const Nbta& a);
 
 /// Canonical minimization of a deterministic automaton (Moore partition
 /// refinement over inhabited states, then completion with a sink). The
 /// result accepts the same language with the minimum number of states among
 /// complete DBTAs.
-Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet);
+Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet,
+                          TaOpContext* ctx = nullptr);
 
 /// Inverse relabeling (cylindrification): `map[b]` gives, for each symbol of
 /// the *larger* alphabet, its image in a's alphabet. Returns an automaton
 /// over the larger alphabet accepting {t | relabel(t) ∈ inst(a)}.
+Nbta InverseRelabelNbta(const NbtaIndex& a, const std::vector<SymbolId>& map,
+                        uint32_t new_num_symbols, TaOpContext* ctx = nullptr);
 Nbta InverseRelabelNbta(const Nbta& a, const std::vector<SymbolId>& map,
                         uint32_t new_num_symbols);
 

@@ -1,0 +1,126 @@
+// Unified budget + metrics context for tree-automaton operations.
+//
+// Every potentially expensive automaton operation (determinization, subset
+// constructions, products, trims, behavior composition) historically took its
+// own loose `max_states`-style parameter and reported nothing back. A
+// TaOpContext bundles all budgets in one place and accumulates counters as
+// the operation pipeline runs, so a whole typechecking run (Theorem 4.4's
+// three passes, dozens of chained automaton ops) shares one accounting
+// surface: how many states were materialized, how many rules scanned, how
+// many determinizations ran, and how much wall time the automaton layer
+// consumed. TypecheckResult surfaces the counters to callers.
+//
+// Threading convention: operations take `TaOpContext*` (nullptr = default
+// budgets, no accounting). Budgets of 0 mean "unlimited". The context is not
+// thread-safe; use one per pipeline run.
+
+#ifndef PEBBLETC_TA_OP_CONTEXT_H_
+#define PEBBLETC_TA_OP_CONTEXT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pebbletc {
+
+/// All resource budgets consumed by the automaton layer. 0 = unlimited.
+struct TaOpBudgets {
+  /// States per determinization / subset construction (complement,
+  /// inclusion, equivalence all determinize internally).
+  size_t max_det_states = 200000;
+  /// Per-tree configuration space for the Prop. 3.8 output automaton.
+  size_t max_configs = 1u << 20;
+  /// Subset budget for the downward fast path's lazy construction.
+  size_t fastpath_max_states = 100000;
+  /// 1-pebble behavior composition: refuse automata beyond this many state
+  /// bits (tables are 2^bits entries), and this many distinct behaviors.
+  uint32_t behavior_max_state_bits = 12;
+  size_t behavior_max_behaviors = 4096;
+};
+
+/// Counters accumulated across every operation run under one context.
+struct TaOpCounters {
+  /// States created across all result automata (determinization subsets,
+  /// product pairs, trim survivors, ...).
+  size_t states_materialized = 0;
+  /// Transition rules visited while running operations (a proxy for work
+  /// done; index construction counts each rule once).
+  size_t rules_scanned = 0;
+  /// Completed determinizations / subset constructions.
+  size_t determinizations = 0;
+  /// Complementations (each implies a determinization).
+  size_t complementations = 0;
+  /// Product constructions (intersections and transducer products).
+  size_t intersections = 0;
+  /// TrimNbta runs.
+  size_t trims = 0;
+  /// MinimizeDbta runs.
+  size_t minimizations = 0;
+  /// NbtaIndex instances compiled.
+  size_t indexes_built = 0;
+  /// Total wall time spent inside timed automaton operations.
+  uint64_t op_nanos = 0;
+};
+
+/// Budgets + counters, threaded as a single pointer through the pipeline.
+class TaOpContext {
+ public:
+  TaOpContext() = default;
+  explicit TaOpContext(const TaOpBudgets& budgets) : budgets(budgets) {}
+
+  TaOpBudgets budgets;
+  TaOpCounters counters;
+
+  /// Budget check helper: OK while `n <= budget` or budget is 0.
+  static Status CheckBudget(size_t n, size_t budget, const char* what) {
+    if (budget != 0 && n > budget) {
+      return Status::ResourceExhausted(std::string(what) + " exceeded budget of " +
+                                       std::to_string(budget) + " (needed " +
+                                       std::to_string(n) + ")");
+    }
+    return Status::OK();
+  }
+};
+
+/// Null-safe accessors: operations accept `TaOpContext* ctx = nullptr` and
+/// fall back to default budgets / discard counters when absent.
+inline size_t TaBudgetMaxDetStates(const TaOpContext* ctx) {
+  return ctx != nullptr ? ctx->budgets.max_det_states
+                        : TaOpBudgets{}.max_det_states;
+}
+
+inline void TaCountStates(TaOpContext* ctx, size_t n) {
+  if (ctx != nullptr) ctx->counters.states_materialized += n;
+}
+inline void TaCountRules(TaOpContext* ctx, size_t n) {
+  if (ctx != nullptr) ctx->counters.rules_scanned += n;
+}
+
+/// RAII wall-clock scope: adds its lifetime to `counters.op_nanos`.
+class TaOpTimer {
+ public:
+  explicit TaOpTimer(TaOpContext* ctx)
+      : ctx_(ctx),
+        start_(ctx != nullptr ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{}) {}
+  ~TaOpTimer() {
+    if (ctx_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    ctx_->counters.op_nanos +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count();
+  }
+  TaOpTimer(const TaOpTimer&) = delete;
+  TaOpTimer& operator=(const TaOpTimer&) = delete;
+
+ private:
+  TaOpContext* ctx_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_OP_CONTEXT_H_

@@ -43,7 +43,40 @@ Status TopDownTA::Validate(const RankedAlphabet& alphabet) const {
   return Status::OK();
 }
 
-TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
+TopDownIndex::TopDownIndex(const TopDownTA& a) : a_(&a) {
+  auto ids = [](size_t i) { return static_cast<uint32_t>(i); };
+  rules_by_symbol_ = Csr<uint32_t>::Build(
+      a.num_symbols, a.rules.size(),
+      [&](size_t i) { return a.rules[i].symbol; }, ids);
+  finals_by_symbol_ = Csr<uint32_t>::Build(
+      a.num_symbols, a.final_pairs.size(),
+      [&](size_t i) { return a.final_pairs[i].symbol; }, ids);
+  silent_by_symbol_ = Csr<uint32_t>::Build(
+      a.num_symbols, a.silent.size(),
+      [&](size_t i) { return a.silent[i].symbol; }, ids);
+}
+
+std::span<const StateId> TopDownIndex::SilentSources(SymbolId symbol,
+                                                     StateId to) const {
+  if (!reverse_silent_built_) {
+    const auto& silent = a_->silent;
+    const size_t rows =
+        static_cast<size_t>(a_->num_symbols) * a_->num_states;
+    reverse_silent_ = Csr<StateId>::Build(
+        rows, silent.size(),
+        [&](size_t i) {
+          return static_cast<size_t>(silent[i].symbol) * a_->num_states +
+                 silent[i].to;
+        },
+        [&](size_t i) { return silent[i].from; });
+    reverse_silent_built_ = true;
+  }
+  return reverse_silent_.Row(static_cast<size_t>(symbol) * a_->num_states +
+                             to);
+}
+
+TopDownTA EliminateSilentTransitions(const TopDownIndex& idx) {
+  const TopDownTA& a = idx.ta();
   TopDownTA out;
   out.num_states = a.num_states;
   out.num_symbols = a.num_symbols;
@@ -57,22 +90,10 @@ TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
   // For a rule (a, t) → ... the eliminated automaton needs it at every state
   // q with q ⇒*_a t, i.e. every q that reaches t backwards through symbol-a
   // silent edges. Compute those sets lazily, one reverse BFS per distinct
-  // (symbol, target), so the cost is proportional to the silent-edge graph
-  // rather than cubic in the (possibly large) state count.
+  // (symbol, target) over the compiled reverse silent adjacency, so the cost
+  // is proportional to the silent-edge graph rather than cubic in the
+  // (possibly large) state count.
   const uint32_t n = a.num_states;
-  std::vector<std::vector<std::pair<StateId, StateId>>> reverse_silent(
-      a.num_symbols);  // per symbol: (to, from) edges
-  for (const TopDownTA::SilentRule& r : a.silent) {
-    reverse_silent[r.symbol].push_back({r.to, r.from});
-  }
-  // Adjacency: per symbol, reverse edges grouped by source (`to` side).
-  std::vector<std::vector<std::vector<StateId>>> radj(a.num_symbols);
-  for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    if (reverse_silent[s].empty()) continue;
-    radj[s].assign(n, {});
-    for (auto [to, from] : reverse_silent[s]) radj[s][to].push_back(from);
-  }
-
   std::vector<std::vector<std::vector<StateId>>> memo(a.num_symbols);
   auto backward_set = [&](SymbolId s, StateId t) -> const std::vector<StateId>& {
     if (memo[s].empty()) memo[s].assign(n, {});
@@ -82,16 +103,14 @@ TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
     std::vector<StateId> work = {t};
     seen[t] = true;
     cached.push_back(t);
-    if (!radj[s].empty()) {
-      while (!work.empty()) {
-        StateId q = work.back();
-        work.pop_back();
-        for (StateId p : radj[s][q]) {
-          if (!seen[p]) {
-            seen[p] = true;
-            cached.push_back(p);
-            work.push_back(p);
-          }
+    while (!work.empty()) {
+      StateId q = work.back();
+      work.pop_back();
+      for (StateId p : idx.SilentSources(s, q)) {
+        if (!seen[p]) {
+          seen[p] = true;
+          cached.push_back(p);
+          work.push_back(p);
         }
       }
     }
@@ -111,7 +130,22 @@ TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
   return out;
 }
 
-bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree) {
+TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
+  // Fast path: nothing to eliminate, skip index construction entirely.
+  if (a.silent.empty()) {
+    TopDownTA out;
+    out.num_states = a.num_states;
+    out.num_symbols = a.num_symbols;
+    out.start = a.start;
+    out.final_pairs = a.final_pairs;
+    out.rules = a.rules;
+    return out;
+  }
+  return EliminateSilentTransitions(TopDownIndex(a));
+}
+
+bool TopDownAccepts(const TopDownIndex& idx, const BinaryTree& tree) {
+  const TopDownTA& a = idx.ta();
   if (tree.empty()) return false;
   // Or-node per configuration [q, x]; one extra and-node per applicable
   // binary rule instance; branchless accept via final pairs (edge to the
@@ -127,43 +161,32 @@ bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree) {
     return static_cast<AgapNodeId>(static_cast<size_t>(q) * num_nodes + x);
   };
 
-  // Index rules by symbol once; trees are large and rule lists can be too
-  // (the Prop. 3.8 automata replicate silent rules per symbol).
-  std::vector<std::vector<const TopDownTA::SilentRule*>> silent_by(
-      a.num_symbols);
-  for (const TopDownTA::SilentRule& r : a.silent) {
-    silent_by[r.symbol].push_back(&r);
-  }
-  std::vector<std::vector<const TopDownTA::FinalPair*>> final_by(
-      a.num_symbols);
-  for (const TopDownTA::FinalPair& f : a.final_pairs) {
-    final_by[f.symbol].push_back(&f);
-  }
-  std::vector<std::vector<const TopDownTA::BinaryRule*>> rules_by(
-      a.num_symbols);
-  for (const TopDownTA::BinaryRule& r : a.rules) {
-    rules_by[r.symbol].push_back(&r);
-  }
   for (NodeId x = 0; x < num_nodes; ++x) {
     const SymbolId sym = tree.symbol(x);
-    for (const TopDownTA::SilentRule* r : silent_by[sym]) {
-      g.AddEdge(config(r->from, x), config(r->to, x));
+    for (uint32_t si : idx.SilentWithSymbol(sym)) {
+      const TopDownTA::SilentRule& r = a.silent[si];
+      g.AddEdge(config(r.from, x), config(r.to, x));
     }
     if (tree.IsLeaf(x)) {
-      for (const TopDownTA::FinalPair* f : final_by[sym]) {
-        g.AddEdge(config(f->state, x), accept);
+      for (uint32_t fi : idx.FinalsWithSymbol(sym)) {
+        g.AddEdge(config(a.final_pairs[fi].state, x), accept);
       }
     } else {
-      for (const TopDownTA::BinaryRule* r : rules_by[sym]) {
+      for (uint32_t ri : idx.RulesWithSymbol(sym)) {
+        const TopDownTA::BinaryRule& r = a.rules[ri];
         AgapNodeId pair = g.AddNode(AlternatingGraph::NodeType::kAnd);
-        g.AddEdge(config(r->from, x), pair);
-        g.AddEdge(pair, config(r->left, tree.left(x)));
-        g.AddEdge(pair, config(r->right, tree.right(x)));
+        g.AddEdge(config(r.from, x), pair);
+        g.AddEdge(pair, config(r.left, tree.left(x)));
+        g.AddEdge(pair, config(r.right, tree.right(x)));
       }
     }
   }
   std::vector<bool> accessible = g.ComputeAccessible();
   return accessible[config(a.start, tree.root())];
+}
+
+bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree) {
+  return TopDownAccepts(TopDownIndex(a), tree);
 }
 
 }  // namespace pebbletc

@@ -13,12 +13,14 @@
 #define PEBBLETC_TA_TOPDOWN_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/alphabet/alphabet.h"
 #include "src/common/status.h"
 #include "src/regex/nfa.h"  // for StateId
+#include "src/ta/csr.h"
 #include "src/tree/binary_tree.h"
 
 namespace pebbletc {
@@ -70,14 +72,59 @@ struct TopDownTA {
   Status Validate(const RankedAlphabet& alphabet) const;
 };
 
+/// Compiled per-symbol rule buckets for a TopDownTA — the top-down analogue
+/// of NbtaIndex (src/ta/nbta_index.h). Build once per automaton and share
+/// across operations; the automaton must outlive the index and must not be
+/// mutated after indexing.
+class TopDownIndex {
+ public:
+  explicit TopDownIndex(const TopDownTA& a);
+
+  TopDownIndex(const TopDownIndex&) = delete;
+  TopDownIndex& operator=(const TopDownIndex&) = delete;
+
+  const TopDownTA& ta() const { return *a_; }
+
+  /// Indices into ta().rules / ta().final_pairs / ta().silent of the entries
+  /// labelled `symbol`.
+  std::span<const uint32_t> RulesWithSymbol(SymbolId symbol) const {
+    return rules_by_symbol_.Row(symbol);
+  }
+  std::span<const uint32_t> FinalsWithSymbol(SymbolId symbol) const {
+    return finals_by_symbol_.Row(symbol);
+  }
+  std::span<const uint32_t> SilentWithSymbol(SymbolId symbol) const {
+    return silent_by_symbol_.Row(symbol);
+  }
+
+  /// Sources of silent `symbol`-edges pointing at `to` (the reverse silent
+  /// adjacency used by silent-transition elimination). Built lazily on first
+  /// use — its row count is |Σ|·|Q| — and only when silent rules exist; not
+  /// thread-safe.
+  std::span<const StateId> SilentSources(SymbolId symbol, StateId to) const;
+
+ private:
+  const TopDownTA* a_;
+  Csr<uint32_t> rules_by_symbol_;
+  Csr<uint32_t> finals_by_symbol_;
+  Csr<uint32_t> silent_by_symbol_;
+
+  mutable bool reverse_silent_built_ = false;
+  mutable Csr<StateId> reverse_silent_;
+};
+
 /// The Section 2.3 construction: an equivalent automaton with no silent
 /// transitions. (Transitions (a,q)→(q1,q2) are added whenever q ⇒*_a q' and
 /// (a,q')→(q1,q2); likewise for final pairs.)
 TopDownTA EliminateSilentTransitions(const TopDownTA& a);
+TopDownTA EliminateSilentTransitions(const TopDownIndex& a);
 
 /// Direct acceptance check via alternating-graph accessibility on the
-/// configuration space (state × node) — handles silent transitions.
+/// configuration space (state × node) — handles silent transitions. The
+/// TopDownTA overload compiles a throwaway index; prefer the TopDownIndex
+/// form when checking several trees against one automaton.
 bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree);
+bool TopDownAccepts(const TopDownIndex& a, const BinaryTree& tree);
 
 }  // namespace pebbletc
 

@@ -72,6 +72,24 @@ TEST(TypecheckTest, CopyTypechecksAgainstItsOwnType) {
   EXPECT_EQ(r.method, "downward-fastpath");
 }
 
+TEST(TypecheckTest, ResultCarriesUnifiedOpCounters) {
+  // Every pass runs under one TaOpContext; the result's cost profile must
+  // reflect the run (complement of τ2, indexes, trims, wall time).
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta tau = AllLeaves(sigma, sigma.Find("a0"));
+  auto r = std::move(tc.Typecheck(tau, tau)).ValueOrDie();
+  EXPECT_GT(r.op_counters.complementations, 0u);
+  EXPECT_GT(r.op_counters.determinizations, 0u);
+  EXPECT_GT(r.op_counters.indexes_built, 0u);
+  EXPECT_GT(r.op_counters.trims, 0u);
+  EXPECT_GT(r.op_counters.rules_scanned, 0u);
+  EXPECT_GT(r.op_counters.states_materialized, 0u);
+  EXPECT_GT(r.op_counters.op_nanos, 0u);
+}
+
+
 TEST(TypecheckTest, CopyCounterexampleWhenTypesDiffer) {
   RankedAlphabet sigma = TinyRanked();
   PebbleTransducer copy = MakeCopyTransducer(sigma);
@@ -181,6 +199,17 @@ TEST(TypecheckTest, CompleteMsoPipelinePositive) {
   EXPECT_EQ(r2.verdict, TypecheckVerdict::kTypechecks);
   EXPECT_EQ(r2.method, "mso-complete");
   EXPECT_GT(r2.mso_stats.automata_built, 0u);
+
+  // With intermediate minimization the MSO route must reach the same
+  // verdict, and the minimizations must show up in the cost profile.
+  opts.minimize_intermediate = true;
+  auto r3 = std::move(tc.Typecheck(UniversalNbta(sigma), tau2, opts))
+                .ValueOrDie();
+  EXPECT_EQ(r3.verdict, TypecheckVerdict::kTypechecks);
+  EXPECT_EQ(r3.method, "mso-complete");
+  EXPECT_GT(r3.op_counters.minimizations, 0u);
+  EXPECT_LE(r3.mso_stats.max_intermediate_states,
+            r2.mso_stats.max_intermediate_states);
 }
 
 TEST(TypecheckTest, CompleteMsoPipelineNegative) {
