@@ -1,0 +1,108 @@
+// Robustness-layer overhead: the cooperative checkpoints threaded through
+// every automaton fixpoint must be near-free, or the execution-control layer
+// (deadlines, cancellation, fault injection) would tax every run that never
+// needs it. Two probes:
+//  1. raw cost per TaCheckpoint call, per feature armed (cancel flag, far
+//     deadline at the default stride, deadline polled every call);
+//  2. the Theorem 4.7 pipeline on the same instances as bench_mso_pipeline,
+//     with full execution control armed — compare against the unarmed
+//     BM_Theorem47Pipeline numbers; the acceptance bar is <2% wall clock.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/mso/compile.h"
+#include "src/pa/automaton.h"
+#include "src/pa/to_mso.h"
+#include "src/ta/op_context.h"
+
+namespace pebbletc {
+namespace {
+
+RankedAlphabet MicroRanked() {
+  RankedAlphabet sigma;
+  (void)sigma.AddLeaf("l");
+  (void)sigma.AddBinary("n");
+  return sigma;
+}
+
+PebbleAutomaton ChainAutomaton(const RankedAlphabet& sigma, int extra) {
+  PebbleAutomaton a(1, static_cast<uint32_t>(sigma.size()));
+  using M = PebbleAutomaton::MoveKind;
+  StateId prev = a.AddState(1);
+  a.SetStart(prev);
+  for (int i = 0; i < extra; ++i) {
+    StateId next = a.AddState(1);
+    a.AddMove({.symbol = sigma.Find("n")}, prev, M::kDownLeft, next);
+    prev = next;
+  }
+  a.AddMove({.symbol = sigma.Find("n")}, prev, M::kDownLeft, prev);
+  a.AddAccept({.symbol = sigma.Find("l")}, prev);
+  return a;
+}
+
+// Raw per-call checkpoint cost. range(0) selects the armed features:
+// 0 = bare counter bump, 1 = cancel flag polled, 2 = far deadline at the
+// default stride (clock read amortized 1/256), 3 = deadline polled on
+// every call (stride 1, the worst case the pipeline never uses).
+void BM_CheckpointCall(benchmark::State& state) {
+  std::atomic<bool> cancel{false};
+  TaOpBudgets budgets;
+  switch (state.range(0)) {
+    case 0:
+      break;
+    case 1:
+      budgets.cancel = &cancel;
+      break;
+    case 2:
+      budgets.deadline =
+          std::chrono::steady_clock::now() + std::chrono::hours(1);
+      break;
+    case 3:
+      budgets.deadline =
+          std::chrono::steady_clock::now() + std::chrono::hours(1);
+      budgets.checkpoint_stride = 1;
+      break;
+  }
+  TaOpContext ctx(budgets);
+  for (auto _ : state) {
+    Status s = ctx.Checkpoint();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["checkpoints"] =
+      static_cast<double>(ctx.counters.checkpoints);
+}
+BENCHMARK(BM_CheckpointCall)->DenseRange(0, 3, 1);
+
+// The bench_mso_pipeline workload with the execution-control layer fully
+// armed (cancel flag + far deadline). Any measurable gap against the
+// unarmed BM_Theorem47Pipeline numbers is pure checkpoint overhead.
+void BM_Theorem47PipelineArmed(benchmark::State& state) {
+  RankedAlphabet sigma = MicroRanked();
+  PebbleAutomaton a = ChainAutomaton(sigma, static_cast<int>(state.range(0)));
+  std::atomic<bool> cancel{false};
+  size_t checkpoints = 0;
+  for (auto _ : state) {
+    TaOpBudgets budgets;
+    budgets.cancel = &cancel;
+    budgets.deadline =
+        std::chrono::steady_clock::now() + std::chrono::hours(1);
+    TaOpContext ctx(budgets);
+    MsoCompileOptions opts;
+    opts.ctx = &ctx;
+    auto nbta = PebbleAutomatonToNbta(a, sigma, opts);
+    PEBBLETC_CHECK(nbta.ok()) << nbta.status().ToString();
+    checkpoints = ctx.counters.checkpoints;
+    benchmark::DoNotOptimize(nbta);
+  }
+  state.counters["checkpoints"] = static_cast<double>(checkpoints);
+}
+BENCHMARK(BM_Theorem47PipelineArmed)
+    ->DenseRange(0, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pebbletc

@@ -22,6 +22,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kLimitExceeded:
+      return "limit-exceeded";
   }
   return "unknown";
 }
@@ -61,6 +67,15 @@ Status Status::Unimplemented(std::string msg) {
 }
 Status Status::Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::LimitExceeded(std::string msg) {
+  return Status(StatusCode::kLimitExceeded, std::move(msg));
 }
 
 std::string Status::ToString() const {

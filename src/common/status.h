@@ -36,6 +36,14 @@ enum class StatusCode {
   kUnimplemented,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
+  /// The operation's wall-clock deadline elapsed before it completed.
+  kDeadlineExceeded,
+  /// The caller cooperatively cancelled the operation mid-flight.
+  kCancelled,
+  /// A structural limit (parser nesting depth, ...) was exceeded. Unlike
+  /// kResourceExhausted this signals a per-input cap, not a budget the
+  /// pipeline can retry with more headroom.
+  kLimitExceeded,
 };
 
 /// Returns the canonical lowercase name of `code` ("ok", "invalid-argument"...).
@@ -66,6 +74,9 @@ class [[nodiscard]] Status {
   static Status ParseError(std::string msg);
   static Status Unimplemented(std::string msg);
   static Status Internal(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status LimitExceeded(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }

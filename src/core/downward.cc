@@ -91,6 +91,9 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
     };
     bool changed = true;
     while (changed) {
+      // Interrupted: the partial subset is discarded by the caller (the
+      // outer closure re-checks the sticky interrupt and returns it).
+      if (!TaCheckpoint(ctx).ok()) break;
       changed = false;
       for (const auto& tr : t.transitions()) {
         if (!guard_matches(tr.guard, a)) continue;
@@ -155,6 +158,7 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
   for (SymbolId a : input_alphabet.LeafSymbols()) {
     leaf_rules.push_back({a, intern(node_set(a, nullptr, nullptr))});
   }
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
 
   std::map<std::tuple<SymbolId, StateId, StateId>, StateId> trans;
   bool changed = true;
@@ -169,6 +173,7 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
     for (SymbolId a : input_alphabet.BinarySymbols()) {
       for (StateId i = 0; i < snapshot; ++i) {
         for (StateId j = 0; j < snapshot; ++j) {
+          PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
           auto key = std::make_tuple(a, i, j);
           if (trans.count(key)) continue;
           trans[key] = intern(node_set(a, &subsets[i], &subsets[j]));
@@ -177,6 +182,7 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
     }
     if (subsets.size() > snapshot) changed = true;
   }
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
 
   for (size_t i = 0; i < subsets.size(); ++i) out.AddState();
   for (auto [a, q] : leaf_rules) out.AddLeafRule(a, q);

@@ -1,9 +1,11 @@
 #include "src/core/typechecker.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/core/downward.h"
 #include "src/pa/behavior.h"
 #include "src/pa/product.h"
@@ -13,13 +15,14 @@
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta_index.h"
 #include "src/ta/topdown.h"
+#include "src/tree/random_tree.h"
 
 namespace pebbletc {
 
 namespace {
 
-// One shared budget/metrics context per pipeline run, seeded from the
-// caller-facing options.
+// One shared budget/metrics/execution-control context per pipeline run,
+// seeded from the caller-facing options.
 TaOpContext MakeContext(const TypecheckOptions& options) {
   TaOpBudgets budgets;
   budgets.max_det_states = options.max_det_states;
@@ -27,7 +30,24 @@ TaOpContext MakeContext(const TypecheckOptions& options) {
   budgets.fastpath_max_states = options.fastpath_max_states;
   budgets.behavior_max_state_bits = options.behavior_max_state_bits;
   budgets.behavior_max_behaviors = options.behavior_max_behaviors;
-  return TaOpContext(budgets);
+  if (options.deadline.has_value()) {
+    budgets.deadline = std::chrono::steady_clock::now() + *options.deadline;
+  }
+  budgets.cancel = options.cancel;
+  budgets.checkpoint_stride = options.checkpoint_stride;
+  TaOpContext ctx(budgets);
+  ctx.fault = options.fault_injector;
+  return ctx;
+}
+
+// Codes on which the ladder degrades to the next pass instead of failing the
+// whole call: per-op budgets, the run deadline, cooperative cancellation, and
+// structural limits. Everything else (kInternal, kInvalidArgument, ...) is a
+// hard error.
+bool IsExhaustion(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled || code == StatusCode::kLimitExceeded;
 }
 
 }  // namespace
@@ -44,16 +64,19 @@ Result<bool> Typechecker::CheckOnInputImpl(
     std::optional<BinaryTree>* violating_output) const {
   PEBBLETC_ASSIGN_OR_RETURN(
       OutputAutomaton a_t,
-      BuildOutputAutomaton(transducer_, input, ctx->budgets.max_configs));
+      BuildOutputAutomaton(transducer_, input, ctx->budgets.max_configs, ctx));
   Nbta outputs = TopDownToNbta(a_t.automaton, ctx);
   // The intersection's worklist only materializes inhabited product states,
   // so the witness search runs on it directly (no extra trim needed).
   Nbta bad = IntersectNbta(NbtaIndex(outputs, ctx), not_tau2, ctx);
   std::optional<BinaryTree> witness = WitnessTree(NbtaIndex(bad, ctx), ctx);
   if (witness.has_value()) {
+    // A witness in a (possibly partial) product is a genuine violation.
     if (violating_output != nullptr) *violating_output = std::move(witness);
     return false;
   }
+  // "No witness" is only trustworthy if nothing above drained early.
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
   return true;
 }
 
@@ -86,14 +109,16 @@ Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& not_tau2_trimmed,
     bopts.max_state_bits = options.behavior_max_state_bits;
     bopts.max_behaviors = options.behavior_max_behaviors;
     auto by_behavior =
-        OnePebbleToNbtaByBehavior(product, input_alphabet_, bopts);
+        OnePebbleToNbtaByBehavior(product, input_alphabet_, bopts, ctx);
     if (by_behavior.ok()) {
       if (method != nullptr) *method = "behavior-complete";
       return by_behavior;
     }
-    if (by_behavior.status().code() != StatusCode::kResourceExhausted) {
+    if (!IsExhaustion(by_behavior.status().code())) {
       return by_behavior.status();
     }
+    // Fall through to the MSO route. Under a sticky interrupt its first
+    // checkpoint returns the same code immediately.
   }
   MsoCompileOptions mso;
   mso.max_det_states = options.max_det_states;
@@ -117,7 +142,11 @@ Result<Nbta> Typechecker::InferInverseType(
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta inverse,
       ComplementNbta(NbtaIndex(bad, &ctx), input_alphabet_, &ctx));
-  return TrimNbta(NbtaIndex(inverse, &ctx), &ctx);
+  Nbta trimmed = TrimNbta(NbtaIndex(inverse, &ctx), &ctx);
+  // A partially trimmed inverse type would under-approximate τ2⁻¹ silently;
+  // fail instead.
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(&ctx));
+  return trimmed;
 }
 
 Result<TypecheckResult> Typechecker::Typecheck(
@@ -131,19 +160,34 @@ Result<TypecheckResult> Typechecker::Typecheck(
   TaOpContext ctx = MakeContext(options);
   TypecheckResult result;
 
+  // Records the first budget/deadline/cancellation hit (later ones only
+  // append to the notes) and keeps the ladder descending.
+  auto note_exhaustion = [&](const char* pass, const Status& s) {
+    result.notes += std::string(pass) + ": " + s.ToString() + "; ";
+    if (!result.exhausted.exhausted) {
+      result.exhausted.exhausted = true;
+      result.exhausted.code = s.code();
+      result.exhausted.pass = pass;
+      result.exhausted.detail = std::string(s.message());
+      result.exhausted.counters = ctx.counters;
+    }
+  };
+
   // complement(τ2) is the workhorse of every pass; compute it (and its rule
   // index) once and share it, instead of re-determinizing per pass — and,
   // in the refutation pass, per enumerated input tree.
   auto not_tau2_or =
       ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
   if (!not_tau2_or.ok()) {
-    if (not_tau2_or.status().code() != StatusCode::kResourceExhausted) {
+    if (!IsExhaustion(not_tau2_or.status().code())) {
       return not_tau2_or.status();
     }
-    result.notes +=
-        "output-type complement: " + not_tau2_or.status().ToString() + "; ";
+    note_exhaustion("output-complement", not_tau2_or.status());
+    // Every exact pass needs the complement, but the degraded search tests
+    // τ2 membership directly and can still refute.
+    RunDegradedSearch(input_type, output_type, options, &result);
     result.op_counters = ctx.counters;
-    return result;  // every pass needs the complement — inconclusive
+    return result;
   }
   Nbta not_tau2 = TrimNbta(NbtaIndex(*not_tau2_or, &ctx), &ctx);
   NbtaIndex not_tau2_idx(not_tau2, &ctx);
@@ -152,12 +196,13 @@ Result<TypecheckResult> Typechecker::Typecheck(
   if (options.refutation_max_trees > 0) {
     std::vector<BinaryTree> inputs =
         EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
-                               options.refutation_max_trees);
+                               options.refutation_max_trees, &ctx);
     for (BinaryTree& input : inputs) {
       std::optional<BinaryTree> violating;
       auto ok = CheckOnInputImpl(input, not_tau2_idx, &ctx, &violating);
       if (!ok.ok()) {
-        result.notes += "refutation pass: " + ok.status().ToString() + "; ";
+        if (!IsExhaustion(ok.status().code())) return ok.status();
+        note_exhaustion("bounded-refutation", ok.status());
         break;
       }
       if (!*ok) {
@@ -186,6 +231,9 @@ Result<TypecheckResult> Typechecker::Typecheck(
       std::optional<BinaryTree> witness =
           WitnessTree(NbtaIndex(offending, &ctx), &ctx);
       if (!witness.has_value()) {
+        // An interrupted intersection/witness search may have missed the
+        // offending tree; only a clean run proves typechecking.
+        PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(&ctx));
         r.verdict = TypecheckVerdict::kTypechecks;
         return r;
       }
@@ -202,13 +250,14 @@ Result<TypecheckResult> Typechecker::Typecheck(
     }();
     if (verdict.ok()) {
       verdict->notes = result.notes + verdict->notes;
+      verdict->exhausted = result.exhausted;
       verdict->op_counters = ctx.counters;
       return verdict;
     }
-    if (verdict.status().code() != StatusCode::kResourceExhausted) {
+    if (!IsExhaustion(verdict.status().code())) {
       return verdict.status();
     }
-    result.notes += "downward fast path: " + verdict.status().ToString() + "; ";
+    note_exhaustion("downward-fastpath", verdict.status());
   }
 
   // Pass 3: the complete (non-elementary) decision.
@@ -223,31 +272,111 @@ Result<TypecheckResult> Typechecker::Typecheck(
           WitnessTree(NbtaIndex(offending, &ctx), &ctx);
       result.method = method;
       if (!witness.has_value()) {
-        result.verdict = TypecheckVerdict::kTypechecks;
+        Status interrupt = TaInterruptStatus(&ctx);
+        if (interrupt.ok()) {
+          result.verdict = TypecheckVerdict::kTypechecks;
+          result.op_counters = ctx.counters;
+          return result;
+        }
+        if (!IsExhaustion(interrupt.code())) return interrupt;
+        note_exhaustion("complete-decision", interrupt);
+      } else {
+        result.verdict = TypecheckVerdict::kCounterexample;
+        std::optional<BinaryTree> violating;
+        auto per_tree =
+            CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
+        if (per_tree.ok() && !*per_tree) {
+          result.counterexample_output = std::move(violating);
+        }
+        result.counterexample_input = std::move(witness);
         result.op_counters = ctx.counters;
         return result;
       }
-      result.verdict = TypecheckVerdict::kCounterexample;
-      std::optional<BinaryTree> violating;
-      auto per_tree =
-          CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
-      if (per_tree.ok() && !*per_tree) {
-        result.counterexample_output = std::move(violating);
+    } else {
+      if (!IsExhaustion(bad.status().code())) {
+        return bad.status();
       }
-      result.counterexample_input = std::move(witness);
-      result.op_counters = ctx.counters;
-      return result;
+      note_exhaustion("complete-decision", bad.status());
     }
-    if (bad.status().code() != StatusCode::kResourceExhausted) {
-      return bad.status();
-    }
-    result.notes += "complete decision: " + bad.status().ToString() + "; ";
   }
 
-  result.verdict = TypecheckVerdict::kInconclusive;
+  // Every exact pass exhausted (or was disabled): try the salvage search,
+  // which can still produce a concrete counterexample but never an
+  // (unsound) kTypechecks.
+  result.verdict = TypecheckVerdict::kUnknown;
   result.method = "none";
+  if (result.exhausted.exhausted) {
+    RunDegradedSearch(input_type, output_type, options, &result);
+  }
   result.op_counters = ctx.counters;
   return result;
+}
+
+void Typechecker::RunDegradedSearch(const Nbta& input_type,
+                                    const Nbta& output_type,
+                                    const TypecheckOptions& options,
+                                    TypecheckResult* result) const {
+  if (!options.degrade_on_exhaustion) return;
+  // Cancellation means the caller wants out now, not a best-effort answer.
+  if (result->exhausted.code == StatusCode::kCancelled) return;
+  // Fresh context: the main run's interrupt is sticky (its deadline has
+  // already passed), so the salvage search gets its own small wall-clock
+  // budget. The caller's cancel flag still applies.
+  TaOpBudgets budgets;
+  budgets.max_configs = options.max_configs;
+  budgets.deadline = std::chrono::steady_clock::now() + options.degraded_budget;
+  budgets.cancel = options.cancel;
+  budgets.checkpoint_stride = options.checkpoint_stride;
+  TaOpContext ctx(budgets);
+
+  NbtaIndex tau1_idx(input_type, &ctx);
+  NbtaIndex tau2_idx(output_type, &ctx);
+
+  // Small τ1 inputs, smallest-first; top up with random τ1 samples so the
+  // search is not limited to the enumeration's prefix.
+  std::vector<BinaryTree> inputs = EnumerateAcceptedTrees(
+      input_type, options.degraded_max_input_nodes,
+      options.degraded_max_input_trees, &ctx);
+  const bool has_binary = !input_alphabet_.BinarySymbols().empty();
+  Rng rng(0x70656262u);  // fixed seed: the search is deterministic
+  for (size_t i = 0;
+       i < options.degraded_random_samples && has_binary &&
+       options.degraded_max_input_nodes > 0;
+       ++i) {
+    if (!TaCheckpoint(&ctx).ok()) break;
+    const size_t internal =
+        1 + rng.NextBelow((options.degraded_max_input_nodes + 1) / 2);
+    BinaryTree t = RandomBinaryTree(input_alphabet_, rng, internal);
+    if (NbtaAccepts(tau1_idx, t)) inputs.push_back(std::move(t));
+  }
+
+  size_t tried = 0;
+  for (const BinaryTree& input : inputs) {
+    if (!TaCheckpoint(&ctx).ok()) break;
+    auto outputs = EnumerateOutputs(transducer_, input,
+                                    options.degraded_max_output_nodes,
+                                    options.degraded_outputs_per_input,
+                                    options.max_configs, &ctx);
+    if (!outputs.ok()) {
+      // A per-input config blowup may not recur on the next input; anything
+      // else (deadline, cancel, hard errors) ends the salvage attempt.
+      if (outputs.status().code() == StatusCode::kResourceExhausted) continue;
+      break;
+    }
+    ++tried;
+    for (const BinaryTree& out : *outputs) {
+      if (!NbtaAccepts(tau2_idx, out)) {
+        result->verdict = TypecheckVerdict::kCounterexample;
+        result->method = "degraded-enumeration";
+        result->counterexample_input = input;
+        result->counterexample_output = out;
+        result->notes += "degraded-enumeration: violation found; ";
+        return;
+      }
+    }
+  }
+  result->notes += "degraded-enumeration: no violation across " +
+                   std::to_string(tried) + " inputs; ";
 }
 
 }  // namespace pebbletc

@@ -21,6 +21,8 @@
 #ifndef PEBBLETC_CORE_TYPECHECKER_H_
 #define PEBBLETC_CORE_TYPECHECKER_H_
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -57,6 +59,38 @@ struct TypecheckOptions {
   /// (see MsoCompileOptions::minimize_intermediate). Slower per step, but
   /// caps the state blowup feeding later complementations.
   bool minimize_intermediate = false;
+
+  // --- execution control (threaded into the shared TaOpContext) ---
+
+  /// Wall-clock deadline for the whole run, relative to the Typecheck call.
+  /// On expiry every in-flight pass unwinds with kDeadlineExceeded and the
+  /// run degrades to kUnknown (plus the salvage search below). Unset = none.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Cooperative cancellation: polled at every checkpoint; set it from
+  /// another thread to abort the run with kCancelled. Must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Checkpoints between deadline clock polls (see TaOpBudgets).
+  uint32_t checkpoint_stride = 256;
+  /// Deterministic fault injection for robustness tests: trips the Nth
+  /// checkpoint of the run with a chosen Status code. Not owned.
+  TaFaultInjector* fault_injector = nullptr;
+
+  // --- graceful degradation (the verdict ladder's last rung) ---
+
+  /// When the exact passes exhaust a budget or the deadline, run a small
+  /// best-effort counterexample search (enumerate/sample τ1 inputs, compare
+  /// outputs against τ2 directly — no complementation needed) that can still
+  /// upgrade kUnknown to kCounterexample with a concrete witness.
+  bool degrade_on_exhaustion = true;
+  /// Salvage-search bounds: τ1 inputs tried (enumerated smallest-first plus
+  /// random samples), per-tree node caps, outputs tested per input, and a
+  /// fresh wall-clock budget (the main deadline has already expired).
+  size_t degraded_max_input_trees = 48;
+  size_t degraded_max_input_nodes = 9;
+  size_t degraded_max_output_nodes = 17;
+  size_t degraded_outputs_per_input = 16;
+  size_t degraded_random_samples = 32;
+  std::chrono::milliseconds degraded_budget{25};
 };
 
 enum class TypecheckVerdict {
@@ -64,21 +98,45 @@ enum class TypecheckVerdict {
   kTypechecks,
   /// Refuted: a concrete input/output counterexample is attached.
   kCounterexample,
-  /// All enabled procedures exhausted their budgets.
-  kInconclusive,
+  /// All enabled procedures exhausted their budgets / deadline; neither
+  /// proven nor refuted.
+  kUnknown,
+  /// Legacy name for kUnknown.
+  kInconclusive = kUnknown,
+};
+
+/// Why (and where) a run failed to reach an exact verdict. Populated the
+/// first time a pass exhausts a budget, deadline, or cancellation; later
+/// passes may still decide the instance, in which case `exhausted` stays
+/// true but the verdict is exact.
+struct ExhaustionReport {
+  /// Whether any pass was cut short.
+  bool exhausted = false;
+  /// kResourceExhausted, kDeadlineExceeded, or kCancelled.
+  StatusCode code = StatusCode::kOk;
+  /// The pass that first exhausted: "output-complement",
+  /// "bounded-refutation", "downward-fastpath", "complete-decision", or
+  /// "degraded-enumeration".
+  std::string pass;
+  /// The underlying Status message.
+  std::string detail;
+  /// Counter snapshot at the moment of first exhaustion.
+  TaOpCounters counters;
 };
 
 struct TypecheckResult {
-  TypecheckVerdict verdict = TypecheckVerdict::kInconclusive;
+  TypecheckVerdict verdict = TypecheckVerdict::kUnknown;
   /// For kCounterexample: a τ1 input whose image leaves τ2, and (when the
   /// deciding procedure can exhibit one) a violating output.
   std::optional<BinaryTree> counterexample_input;
   std::optional<BinaryTree> counterexample_output;
   /// Which procedure decided: "bounded-refutation", "downward-fastpath",
-  /// "behavior-complete", "mso-complete", or "none".
+  /// "behavior-complete", "mso-complete", "degraded-enumeration", or "none".
   std::string method = "none";
   /// Budget failures encountered along the way (empty if none).
   std::string notes;
+  /// Structured report of the first budget/deadline/cancellation hit.
+  ExhaustionReport exhausted;
   /// MSO compilation metrics when the complete pipeline ran.
   MsoCompileStats mso_stats;
   /// Unified automaton-operation cost profile for the whole run: every pass
@@ -123,6 +181,16 @@ class Typechecker {
                                   const TypecheckOptions& options,
                                   MsoCompileStats* stats, std::string* method,
                                   TaOpContext* ctx) const;
+
+  // Last rung of the degradation ladder: when every exact pass exhausted,
+  // enumerate/sample small τ1 inputs and compare their outputs against τ2
+  // *directly* (NbtaAccepts membership — no complementation, so it works
+  // even when complement(τ2) was the budget that blew). Runs on a fresh
+  // context with its own small deadline; can upgrade the verdict in
+  // `*result` from kUnknown to kCounterexample, never to kTypechecks.
+  void RunDegradedSearch(const Nbta& input_type, const Nbta& output_type,
+                         const TypecheckOptions& options,
+                         TypecheckResult* result) const;
 
   // Per-input check against a pre-built index of the trimmed complement of
   // the output type; all the per-tree work of CheckOnInput without

@@ -34,6 +34,7 @@ class Compiler {
       : ext_(ext), options_(options), ctx_(ctx) {}
 
   Result<CompiledPtr> Compile(const MsoPtr& f) {
+    PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx_));
     auto it = cache_.find(f.get());
     if (it != cache_.end()) {
       if (options_.stats != nullptr) options_.stats->cache_hits++;
@@ -41,6 +42,9 @@ class Compiler {
     }
     PEBBLETC_ASSIGN_OR_RETURN(Nbta a, CompileUncached(f));
     a = TrimNbta(NbtaIndex(a, ctx_), ctx_);
+    // Value-returning ops (intersect, trim, union, relabel) drain silently
+    // on interruption; refuse to cache or build on partial automata.
+    PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx_));
     if (options_.minimize_intermediate) MaybeMinimize(&a);
     CompiledPtr compiled = std::make_shared<CompiledNbta>(std::move(a), ctx_);
     Note(compiled->nbta);
@@ -337,7 +341,9 @@ Result<Nbta> CompileMsoSentence(const MsoPtr& sentence,
   // exactly { t | t ⊨ sentence }.
   Nbta over_base = RelabelNbta(over_ext->nbta, ext.ToBaseMap(),
                                static_cast<uint32_t>(base.size()));
-  return TrimNbta(NbtaIndex(over_base, ctx), ctx);
+  Nbta trimmed = TrimNbta(NbtaIndex(over_base, ctx), ctx);
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+  return trimmed;
 }
 
 Result<bool> MsoSatisfiable(const MsoPtr& sentence, const RankedAlphabet& base,

@@ -109,7 +109,9 @@ class BehaviorBuilder {
 
 Result<Nbta> OnePebbleToNbtaByBehavior(const PebbleAutomaton& a,
                                        const RankedAlphabet& alphabet,
-                                       const BehaviorOptions& options) {
+                                       const BehaviorOptions& options,
+                                       TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   if (a.max_pebbles() != 1) {
     return Status::InvalidArgument(
         "behavior composition handles 1-pebble automata only");
@@ -157,6 +159,7 @@ Result<Nbta> OnePebbleToNbtaByBehavior(const PebbleAutomaton& a,
     for (SymbolId sym : alphabet.BinarySymbols()) {
       for (StateId i = 0; i < snapshot; ++i) {
         for (StateId j = 0; j < snapshot; ++j) {
+          PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
           auto key = std::make_tuple(sym, i, j);
           if (trans.count(key)) continue;
           trans[key] = intern(
@@ -167,6 +170,10 @@ Result<Nbta> OnePebbleToNbtaByBehavior(const PebbleAutomaton& a,
     if (behaviors.size() > snapshot) changed = true;
   }
 
+  if (ctx != nullptr) {
+    ctx->counters.determinizations++;
+    ctx->counters.states_materialized += behaviors.size();
+  }
   Nbta out;
   out.num_symbols = static_cast<uint32_t>(alphabet.size());
   for (size_t i = 0; i < behaviors.size(); ++i) {

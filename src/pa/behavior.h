@@ -28,6 +28,7 @@
 #include "src/common/result.h"
 #include "src/pa/automaton.h"
 #include "src/ta/nbta.h"
+#include "src/ta/op_context.h"
 
 namespace pebbletc {
 
@@ -43,7 +44,8 @@ struct BehaviorOptions {
 /// than one pebble, kResourceExhausted when a budget trips.
 Result<Nbta> OnePebbleToNbtaByBehavior(const PebbleAutomaton& a,
                                        const RankedAlphabet& alphabet,
-                                       const BehaviorOptions& options = {});
+                                       const BehaviorOptions& options = {},
+                                       TaOpContext* ctx = nullptr);
 
 }  // namespace pebbletc
 

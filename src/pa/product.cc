@@ -10,7 +10,8 @@ Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
     return Status::InvalidArgument(
         "automaton alphabet does not match the transducer output alphabet");
   }
-  const TopDownTA b = EliminateSilentTransitions(b_input);
+  const TopDownTA b = EliminateSilentTransitions(b_input, ctx);
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
   const uint32_t nb = b.num_states == 0 ? 1 : b.num_states;
 
   PebbleAutomaton a(t.max_pebbles(), t.num_input_symbols());
@@ -26,6 +27,7 @@ Result<PebbleAutomaton> TransducerTimesTopDown(const PebbleTransducer& t,
 
   using TKind = PebbleTransducer::TransitionKind;
   for (const auto& tr : t.transitions()) {
+    PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
     switch (tr.kind) {
       case TKind::kMove:
         // Equation (3): B's state is carried along unchanged.

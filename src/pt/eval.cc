@@ -9,6 +9,7 @@
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta.h"
+#include "src/ta/nbta_index.h"
 
 namespace pebbletc {
 
@@ -21,7 +22,9 @@ using TKind = PebbleTransducer::TransitionKind;
 
 Result<OutputAutomaton> BuildOutputAutomaton(const PebbleTransducer& t,
                                              const BinaryTree& input,
-                                             size_t max_configs) {
+                                             size_t max_configs,
+                                             TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   if (input.empty()) {
     return Status::InvalidArgument("empty input tree");
   }
@@ -53,6 +56,7 @@ Result<OutputAutomaton> BuildOutputAutomaton(const PebbleTransducer& t,
   constexpr StateId kFinalMarker = static_cast<StateId>(-2);
 
   for (size_t i = 0; i < configs.size(); ++i) {
+    PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
     if (max_configs != 0 && configs.size() > max_configs) {
       return Status::ResourceExhausted(
           "configuration budget of " + std::to_string(max_configs) +
@@ -113,13 +117,16 @@ Result<OutputAutomaton> BuildOutputAutomaton(const PebbleTransducer& t,
   for (SymbolId sym = 0; sym < a.num_symbols; ++sym) {
     a.AddFinalPair(sym, qf);
   }
+  TaCountStates(ctx, a.num_states);
+  TaCountRules(ctx, a.rules.size() + a.silent.size() + a.final_pairs.size());
   return out;
 }
 
 Result<bool> OutputContains(const PebbleTransducer& t, const BinaryTree& input,
-                            const BinaryTree& candidate, size_t max_configs) {
+                            const BinaryTree& candidate, size_t max_configs,
+                            TaOpContext* ctx) {
   PEBBLETC_ASSIGN_OR_RETURN(OutputAutomaton a,
-                            BuildOutputAutomaton(t, input, max_configs));
+                            BuildOutputAutomaton(t, input, max_configs, ctx));
   return TopDownAccepts(a.automaton, candidate);
 }
 
@@ -127,11 +134,17 @@ Result<std::vector<BinaryTree>> EnumerateOutputs(const PebbleTransducer& t,
                                                  const BinaryTree& input,
                                                  size_t max_nodes,
                                                  size_t max_count,
-                                                 size_t max_configs) {
+                                                 size_t max_configs,
+                                                 TaOpContext* ctx) {
   PEBBLETC_ASSIGN_OR_RETURN(OutputAutomaton a,
-                            BuildOutputAutomaton(t, input, max_configs));
-  Nbta nbta = TrimNbta(TopDownToNbta(a.automaton));
-  return EnumerateAcceptedTrees(nbta, max_nodes, max_count);
+                            BuildOutputAutomaton(t, input, max_configs, ctx));
+  Nbta nbta = TrimNbta(NbtaIndex(TopDownToNbta(a.automaton, ctx), ctx), ctx);
+  std::vector<BinaryTree> trees =
+      EnumerateAcceptedTrees(nbta, max_nodes, max_count, ctx);
+  // An interrupted enumeration yields genuine-but-fewer outputs; surface the
+  // interrupt so callers relying on exhaustiveness can tell.
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+  return trees;
 }
 
 namespace {
@@ -179,7 +192,8 @@ BinaryTree ProtoToTree(const std::vector<ProtoNode>& proto, int64_t root) {
 
 Result<BinaryTree> EvalDeterministic(const PebbleTransducer& t,
                                      const BinaryTree& input,
-                                     size_t max_steps) {
+                                     size_t max_steps, TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   if (input.empty()) {
     return Status::InvalidArgument("empty input tree");
   }
@@ -209,6 +223,7 @@ Result<BinaryTree> EvalDeterministic(const PebbleTransducer& t,
     // one means the (deterministic) run diverges.
     std::set<Config> seen;
     while (true) {
+      PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
       if (++steps > max_steps) {
         return Status::ResourceExhausted("evaluation exceeded " +
                                          std::to_string(max_steps) +

@@ -33,21 +33,26 @@ struct OutputAutomaton {
 };
 
 /// Builds A_t. `max_configs` (0 = unlimited) bounds the configuration space.
+/// A `ctx` threads deadline/cancel checkpoints and counters through the
+/// configuration BFS.
 Result<OutputAutomaton> BuildOutputAutomaton(const PebbleTransducer& t,
                                              const BinaryTree& input,
-                                             size_t max_configs = 0);
+                                             size_t max_configs = 0,
+                                             TaOpContext* ctx = nullptr);
 
 /// Membership test: candidate ∈ T(input)? (PTIME in |input| and |candidate|.)
 Result<bool> OutputContains(const PebbleTransducer& t, const BinaryTree& input,
                             const BinaryTree& candidate,
-                            size_t max_configs = 0);
+                            size_t max_configs = 0,
+                            TaOpContext* ctx = nullptr);
 
 /// Enumerates distinct outputs with ≤ max_nodes nodes (≤ max_count of them).
 Result<std::vector<BinaryTree>> EnumerateOutputs(const PebbleTransducer& t,
                                                  const BinaryTree& input,
                                                  size_t max_nodes,
                                                  size_t max_count,
-                                                 size_t max_configs = 0);
+                                                 size_t max_configs = 0,
+                                                 TaOpContext* ctx = nullptr);
 
 /// Runs a deterministic transducer directly, materializing the unique output
 /// tree. Fails with kFailedPrecondition if the transducer is syntactically
@@ -55,7 +60,8 @@ Result<std::vector<BinaryTree>> EnumerateOutputs(const PebbleTransducer& t,
 /// emitting output), a branch gets stuck, or `max_steps` is exceeded.
 Result<BinaryTree> EvalDeterministic(const PebbleTransducer& t,
                                      const BinaryTree& input,
-                                     size_t max_steps = 10'000'000);
+                                     size_t max_steps = 10'000'000,
+                                     TaOpContext* ctx = nullptr);
 
 }  // namespace pebbletc
 

@@ -103,10 +103,11 @@ namespace {
 class RegexParser {
  public:
   RegexParser(std::string_view text, Alphabet* mutable_alphabet,
-              const Alphabet* closed_alphabet)
+              const Alphabet* closed_alphabet, size_t max_depth)
       : text_(text),
         mutable_alphabet_(mutable_alphabet),
-        closed_alphabet_(closed_alphabet) {}
+        closed_alphabet_(closed_alphabet),
+        max_depth_(max_depth) {}
 
   Result<RegexPtr> Parse() {
     PEBBLETC_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
@@ -179,7 +180,16 @@ class RegexParser {
         ++pos_;
         return Regex::Epsilon();
       }
-      PEBBLETC_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
+      // The parser recurses once per '(' nesting level; cap it so hostile
+      // inputs fail with a clean Status instead of a stack overflow.
+      if (depth_ >= max_depth_) {
+        return Status::LimitExceeded("regex nesting depth exceeds " +
+                                     std::to_string(max_depth_));
+      }
+      ++depth_;
+      Result<RegexPtr> inner = ParseUnion();
+      --depth_;
+      PEBBLETC_ASSIGN_OR_RETURN(RegexPtr r, std::move(inner));
       if (Peek() != ')') {
         return Status::ParseError("expected ')' at offset " +
                                   std::to_string(pos_));
@@ -219,17 +229,21 @@ class RegexParser {
   size_t pos_ = 0;
   Alphabet* mutable_alphabet_;
   const Alphabet* closed_alphabet_;
+  size_t max_depth_;
+  size_t depth_ = 0;
 };
 
 }  // namespace
 
-Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet) {
-  return RegexParser(text, alphabet, nullptr).Parse();
+Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet,
+                            size_t max_depth) {
+  return RegexParser(text, alphabet, nullptr, max_depth).Parse();
 }
 
 Result<RegexPtr> ParseRegexClosed(std::string_view text,
-                                  const Alphabet& alphabet) {
-  return RegexParser(text, nullptr, &alphabet).Parse();
+                                  const Alphabet& alphabet,
+                                  size_t max_depth) {
+  return RegexParser(text, nullptr, &alphabet, max_depth).Parse();
 }
 
 namespace {

@@ -82,14 +82,22 @@ class Regex {
   RegexPtr right_;
 };
 
+/// Maximum '(' nesting depth the parser accepts. The parser (and the AST it
+/// would build) recurse per nesting level, so unbounded depth lets a hostile
+/// input — e.g. a DTD content model — overflow the call stack. Deeper input
+/// fails cleanly with kLimitExceeded.
+inline constexpr size_t kDefaultMaxRegexDepth = 2000;
+
 /// Parses the concrete syntax above. Symbol names are resolved against (and
 /// interned into) `*alphabet`. Operator precedence: postfix (* + ?) binds
 /// tighter than '.', which binds tighter than '|'.
-Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet);
+Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet,
+                            size_t max_depth = kDefaultMaxRegexDepth);
 
 /// Parses against a fixed unranked alphabet; unknown names fail.
 Result<RegexPtr> ParseRegexClosed(std::string_view text,
-                                  const Alphabet& alphabet);
+                                  const Alphabet& alphabet,
+                                  size_t max_depth = kDefaultMaxRegexDepth);
 
 /// Renders a regex back to concrete syntax (fully parenthesised where
 /// needed). `names` resolves symbol ids.

@@ -4,7 +4,7 @@ namespace pebbletc {
 
 Nbta TopDownToNbta(const TopDownTA& input, TaOpContext* ctx) {
   TaOpTimer timer(ctx);
-  const TopDownTA a = EliminateSilentTransitions(input);
+  const TopDownTA a = EliminateSilentTransitions(input, ctx);
   Nbta out;
   out.num_symbols = a.num_symbols;
   for (StateId q = 0; q < a.num_states; ++q) out.AddState();

@@ -31,7 +31,9 @@ std::string Key(const BinaryTree& t) {
 }  // namespace
 
 std::vector<BinaryTree> EnumerateAcceptedTrees(const Nbta& a, size_t max_nodes,
-                                               size_t max_count) {
+                                               size_t max_count,
+                                               TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   std::vector<BinaryTree> out;
   if (max_nodes == 0 || max_count == 0) return out;
 
@@ -73,6 +75,9 @@ std::vector<BinaryTree> EnumerateAcceptedTrees(const Nbta& a, size_t max_nodes,
   for (size_t s = 3; s <= max_nodes && out.size() < max_count; s += 2) {
     for (const Nbta::BinaryRule& r : a.rules) {
       for (size_t s1 = 1; s1 + 2 <= s; s1 += 2) {
+        // Interrupted: return the trees emitted so far — each is a genuine
+        // accepted tree; only exhaustiveness of the sweep is lost.
+        if (!TaCheckpoint(ctx).ok()) return out;
         const size_t s2 = s - 1 - s1;
         for (const BinaryTree& lt : per_state[r.left][s1]) {
           for (const BinaryTree& rt : per_state[r.right][s2]) {

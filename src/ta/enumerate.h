@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/ta/nbta.h"
+#include "src/ta/op_context.h"
 #include "src/tree/binary_tree.h"
 
 namespace pebbletc {
@@ -16,9 +17,12 @@ namespace pebbletc {
 /// Returns distinct accepted trees with at most `max_nodes` nodes, ordered by
 /// node count (ties in unspecified but deterministic order), stopping after
 /// `max_count` trees. The enumeration is exact: it returns *all* accepted
-/// trees within the bounds unless truncated by `max_count`.
+/// trees within the bounds unless truncated by `max_count` — or interrupted
+/// via a `ctx` checkpoint, in which case the (genuine) trees found so far are
+/// returned and TaInterruptStatus(ctx) reports why the enumeration stopped.
 std::vector<BinaryTree> EnumerateAcceptedTrees(const Nbta& a, size_t max_nodes,
-                                               size_t max_count);
+                                               size_t max_count,
+                                               TaOpContext* ctx = nullptr);
 
 }  // namespace pebbletc
 

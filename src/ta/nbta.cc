@@ -226,6 +226,11 @@ Result<Dbta> DeterminizeNbta(const NbtaIndex& idx,
       if (idx.RulesWithSymbol(s).empty()) continue;
       for (StateId i = 0; i < snapshot; ++i) {
         for (StateId j = 0; j < snapshot; ++j) {
+          Status interrupt = TaCheckpoint(ctx);
+          if (!interrupt.ok()) {
+            TaCountRules(ctx, rules_scanned);
+            return interrupt;
+          }
           auto key = std::make_tuple(s, i, j);
           if (trans.count(key)) continue;
           StateId to = intern(successor(s, subsets[i], subsets[j]));
@@ -333,6 +338,7 @@ Nbta IntersectNbta(const NbtaIndex& ia, const NbtaIndex& ib, TaOpContext* ctx) {
 
   // Each (a-rule, b-rule) combination is emitted at most once.
   size_t rules_scanned = 0;
+  bool interrupted = false;
   std::set<std::pair<uint32_t, uint32_t>> emitted;
   auto try_emit = [&](uint32_t ra_i, uint32_t rb_i) {
     ++rules_scanned;
@@ -347,17 +353,38 @@ Nbta IntersectNbta(const NbtaIndex& ia, const NbtaIndex& ib, TaOpContext* ctx) {
     StateId to = intern(ra.to, rb.to);
     out.AddRule(ra.symbol, l->second, r->second, to);
   };
+  // One discovered pair scans |rules_a(child)| × |rules_b(child)|
+  // combinations — billions over large (track-extended) alphabets — so the
+  // per-item checkpoint below is not enough. Poll between inner sweeps once
+  // enough pairs accumulate: the innermost loop stays check-free (the poll
+  // must not tax the hot path) and interruption latency is bounded by one
+  // b-side rule list.
+  size_t next_poll = 4096;
+  auto poll = [&]() {
+    if (rules_scanned >= next_poll) {
+      next_poll = rules_scanned + 4096;
+      if (!TaCheckpoint(ctx).ok()) interrupted = true;
+    }
+  };
 
   // The compiled by-child adjacency means each discovered pair only visits
   // the rules that mention it.
-  while (!worklist.empty()) {
+  while (!worklist.empty() && !interrupted) {
+    // Interrupted: drain early; the partial product is structurally valid
+    // (every emitted rule is sound), callers consult TaInterruptStatus before
+    // drawing emptiness conclusions from it.
+    if (!TaCheckpoint(ctx).ok()) break;
     auto [xa, xb] = worklist.back();
     worklist.pop_back();
     for (uint32_t ra_i : ia.RulesWithLeft(xa)) {
       for (uint32_t rb_i : ib.RulesWithLeft(xb)) try_emit(ra_i, rb_i);
+      poll();
+      if (interrupted) break;
     }
     for (uint32_t ra_i : ia.RulesWithRight(xa)) {
       for (uint32_t rb_i : ib.RulesWithRight(xb)) try_emit(ra_i, rb_i);
+      poll();
+      if (interrupted) break;
     }
   }
   if (ctx != nullptr) {
@@ -401,8 +428,11 @@ namespace {
 
 // States inhabited by at least one tree, worklist-driven off the compiled
 // by-child adjacency: each rule is inspected at most twice (once per child
-// becoming inhabited).
-std::vector<bool> InhabitedStates(const NbtaIndex& idx) {
+// becoming inhabited). On interruption the fixpoint drains early, leaving an
+// *under*-approximation: every marked state really is inhabited, but some
+// inhabited states may be unmarked.
+std::vector<bool> InhabitedStates(const NbtaIndex& idx,
+                                  TaOpContext* ctx = nullptr) {
   const Nbta& a = idx.nbta();
   std::vector<bool> inhabited(a.num_states, false);
   std::vector<StateId> work;
@@ -414,6 +444,7 @@ std::vector<bool> InhabitedStates(const NbtaIndex& idx) {
   };
   for (const auto& r : a.leaf_rules) mark(r.to);
   while (!work.empty()) {
+    if (!TaCheckpoint(ctx).ok()) break;
     StateId q = work.back();
     work.pop_back();
     for (uint32_t ri : idx.RulesWithLeft(q)) {
@@ -434,7 +465,7 @@ bool IsEmptyNbta(const NbtaIndex& idx, TaOpContext* ctx) {
   TaOpTimer timer(ctx);
   const Nbta& a = idx.nbta();
   TaCountRules(ctx, a.leaf_rules.size() + a.rules.size());
-  std::vector<bool> inhabited = InhabitedStates(idx);
+  std::vector<bool> inhabited = InhabitedStates(idx, ctx);
   for (StateId q : idx.AcceptingStates()) {
     if (inhabited[q]) return false;
   }
@@ -485,6 +516,10 @@ std::optional<BinaryTree> WitnessTree(const NbtaIndex& idx, TaOpContext* ctx) {
     }
   };
   while (!work.empty()) {
+    // Interrupted: stop relaxing. Any witness reconstructed below is still
+    // genuine (each recorded realizing rule is valid); only minimality and
+    // completeness of the search are lost.
+    if (!TaCheckpoint(ctx).ok()) break;
     StateId q = work.back();
     work.pop_back();
     queued[q] = false;
@@ -547,7 +582,11 @@ Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
       Nbta not_super, ComplementNbta(NbtaIndex(super, ctx), alphabet, ctx));
   Nbta bad =
       IntersectNbta(NbtaIndex(sub, ctx), NbtaIndex(not_super, ctx), ctx);
-  return IsEmptyNbta(NbtaIndex(bad, ctx), ctx);
+  bool empty = IsEmptyNbta(NbtaIndex(bad, ctx), ctx);
+  // Emptiness of a partial product proves nothing; a non-empty partial
+  // product is a genuine refutation of inclusion.
+  if (empty) PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+  return empty;
 }
 
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
@@ -575,7 +614,7 @@ Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
 Nbta TrimNbta(const NbtaIndex& idx, TaOpContext* ctx) {
   TaOpTimer timer(ctx);
   const Nbta& a = idx.nbta();
-  std::vector<bool> inhabited = InhabitedStates(idx);
+  std::vector<bool> inhabited = InhabitedStates(idx, ctx);
   // Co-reachable: can contribute to an accepted run. Worklist over the
   // reverse by-target adjacency; each rule is visited once (when its target
   // is popped).
@@ -591,6 +630,9 @@ Nbta TrimNbta(const NbtaIndex& idx, TaOpContext* ctx) {
     if (inhabited[q]) mark(q);
   }
   while (!work.empty()) {
+    // Interrupted: the trim keeps fewer states than it could; the result
+    // still only contains sound rules (a subset of the input automaton).
+    if (!TaCheckpoint(ctx).ok()) break;
     StateId q = work.back();
     work.pop_back();
     for (uint32_t ri : idx.RulesWithTarget(q)) {
@@ -697,6 +739,7 @@ Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet,
       for (SymbolId a : alphabet.BinarySymbols()) {
         for (StateId l = 0; l < n; ++l) {
           if (!inhabited[l]) continue;
+          PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
           for (StateId r = 0; r < n; ++r) {
             if (!inhabited[r]) continue;
             StateId to = d.Next(a, l, r);
@@ -733,6 +776,7 @@ Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet,
     std::map<std::vector<uint32_t>, uint32_t> sig_index;
     std::vector<uint32_t> next_block(m);
     for (size_t i = 0; i < m; ++i) {
+      PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
       std::vector<uint32_t> sig;
       sig.push_back(block[i]);
       for (SymbolId a : alphabet.BinarySymbols()) {

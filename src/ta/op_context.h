@@ -1,4 +1,5 @@
-// Unified budget + metrics context for tree-automaton operations.
+// Unified budget + metrics + execution-control context for tree-automaton
+// operations.
 //
 // Every potentially expensive automaton operation (determinization, subset
 // constructions, products, trims, behavior composition) historically took its
@@ -10,16 +11,29 @@
 // many determinizations ran, and how much wall time the automaton layer
 // consumed. TypecheckResult surfaces the counters to callers.
 //
+// Beyond budgets, the context is the pipeline's *execution-control* layer
+// (the worst case is non-elementary — Theorem 4.8 — so runaway loops must be
+// interruptible): a wall-clock `deadline`, an external cooperative `cancel`
+// flag, and a deterministic fault injector all surface through one cheap
+// call, `TaCheckpoint(ctx)`, placed inside every worklist fixpoint and
+// subset-closure loop. Deadline/cancel/injected faults are *sticky*: once a
+// checkpoint trips, every later checkpoint on the same context returns the
+// same Status, so partially built structures drain quickly and the failure
+// propagates to the pipeline boundary with its original code intact.
+//
 // Threading convention: operations take `TaOpContext*` (nullptr = default
-// budgets, no accounting). Budgets of 0 mean "unlimited". The context is not
-// thread-safe; use one per pipeline run.
+// budgets, no accounting, no interruption). Budgets of 0 mean "unlimited".
+// The context is not thread-safe *except* for the cancel flag, which may be
+// flipped from another thread; use one context per pipeline run.
 
 #ifndef PEBBLETC_TA_OP_CONTEXT_H_
 #define PEBBLETC_TA_OP_CONTEXT_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/common/status.h"
@@ -39,6 +53,16 @@ struct TaOpBudgets {
   /// bits (tables are 2^bits entries), and this many distinct behaviors.
   uint32_t behavior_max_state_bits = 12;
   size_t behavior_max_behaviors = 4096;
+  /// Absolute wall-clock deadline; checkpoints return kDeadlineExceeded once
+  /// steady_clock::now() passes it. Unset = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// External cancellation flag, polled (relaxed) at every checkpoint. The
+  /// pointee must outlive the context; may be flipped from another thread.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Poll the clock only every `checkpoint_stride` checkpoints — clock reads
+  /// dominate checkpoint cost, the counter bump is nearly free. Cancel and
+  /// fault injection are checked every call regardless.
+  uint32_t checkpoint_stride = 256;
 };
 
 /// Counters accumulated across every operation run under one context.
@@ -61,11 +85,28 @@ struct TaOpCounters {
   size_t minimizations = 0;
   /// NbtaIndex instances compiled.
   size_t indexes_built = 0;
+  /// TaCheckpoint calls observed (the fault injector's ordinal space).
+  uint64_t checkpoints = 0;
   /// Total wall time spent inside timed automaton operations.
   uint64_t op_nanos = 0;
 };
 
-/// Budgets + counters, threaded as a single pointer through the pipeline.
+/// Deterministic fault injection: trips the `trip_at`-th checkpoint observed
+/// on the context (0-based) with `code`, exactly once. Checkpoint ordinals
+/// are deterministic for a fixed workload, so a test harness can sweep
+/// `trip_at` across a whole pipeline run and prove every interruption point
+/// unwinds cleanly. `seen`/`tripped` are filled in by the context.
+struct TaFaultInjector {
+  uint64_t trip_at = 0;
+  StatusCode code = StatusCode::kDeadlineExceeded;
+  /// Checkpoints observed so far (output).
+  uint64_t seen = 0;
+  /// Whether the fault fired (output).
+  bool tripped = false;
+};
+
+/// Budgets + counters + interrupt state, threaded as a single pointer
+/// through the pipeline.
 class TaOpContext {
  public:
   TaOpContext() = default;
@@ -73,6 +114,8 @@ class TaOpContext {
 
   TaOpBudgets budgets;
   TaOpCounters counters;
+  /// Optional deterministic fault hook; not owned.
+  TaFaultInjector* fault = nullptr;
 
   /// Budget check helper: OK while `n <= budget` or budget is 0.
   static Status CheckBudget(size_t n, size_t budget, const char* what) {
@@ -83,6 +126,55 @@ class TaOpContext {
     }
     return Status::OK();
   }
+
+  /// The cheap cooperative interruption point. Returns the sticky interrupt
+  /// if one already tripped; otherwise checks (in order) the fault injector,
+  /// the cancel flag, and — every `checkpoint_stride` calls — the deadline.
+  /// Once non-OK, every subsequent call returns the same Status.
+  Status Checkpoint() {
+    if (interrupted_) return interrupt_;
+    const uint64_t n = counters.checkpoints++;
+    if (fault != nullptr) {
+      fault->seen = counters.checkpoints;
+      if (!fault->tripped && n == fault->trip_at) {
+        fault->tripped = true;
+        return SetInterrupt(Status(
+            fault->code, "fault injected at checkpoint " + std::to_string(n)));
+      }
+    }
+    if (budgets.cancel != nullptr &&
+        budgets.cancel->load(std::memory_order_relaxed)) {
+      return SetInterrupt(Status::Cancelled("operation cancelled by caller"));
+    }
+    if (budgets.deadline.has_value()) {
+      const uint32_t stride =
+          budgets.checkpoint_stride == 0 ? 1 : budgets.checkpoint_stride;
+      if (n % stride == 0 &&
+          std::chrono::steady_clock::now() >= *budgets.deadline) {
+        return SetInterrupt(
+            Status::DeadlineExceeded("pipeline deadline elapsed"));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The sticky interrupt (OK if no checkpoint has tripped). Value-returning
+  /// operations that bail out early on interruption leave the context in
+  /// this state; callers consult it before trusting a "complete" result.
+  const Status& interrupt() const { return interrupt_; }
+  bool interrupted() const { return interrupted_; }
+
+ private:
+  Status SetInterrupt(Status s) {
+    interrupted_ = true;
+    interrupt_ = s;
+    return s;
+  }
+
+  bool interrupted_ = false;
+  Status interrupt_;
+  friend class TaOpTimer;
+  uint32_t timer_depth_ = 0;
 };
 
 /// Null-safe accessors: operations accept `TaOpContext* ctx = nullptr` and
@@ -99,15 +191,34 @@ inline void TaCountRules(TaOpContext* ctx, size_t n) {
   if (ctx != nullptr) ctx->counters.rules_scanned += n;
 }
 
-/// RAII wall-clock scope: adds its lifetime to `counters.op_nanos`.
+/// Null-safe checkpoint: the call every long-running loop makes. OK when no
+/// context is threaded.
+inline Status TaCheckpoint(TaOpContext* ctx) {
+  return ctx != nullptr ? ctx->Checkpoint() : Status::OK();
+}
+
+/// Null-safe sticky-interrupt read, for callers of value-returning
+/// operations (IntersectNbta, TrimNbta, WitnessTree, ...) that drain early
+/// instead of returning a Status. A non-OK value means the preceding results
+/// may be partial; positive conclusions must not be drawn from them.
+inline Status TaInterruptStatus(const TaOpContext* ctx) {
+  return ctx != nullptr ? ctx->interrupt() : Status::OK();
+}
+
+/// RAII wall-clock scope: adds its lifetime to `counters.op_nanos`. Nested
+/// scopes on the same context are tracked by depth so only the outermost
+/// scope accumulates — nested timed ops no longer double-count wall time.
 class TaOpTimer {
  public:
-  explicit TaOpTimer(TaOpContext* ctx)
-      : ctx_(ctx),
-        start_(ctx != nullptr ? std::chrono::steady_clock::now()
-                              : std::chrono::steady_clock::time_point{}) {}
+  explicit TaOpTimer(TaOpContext* ctx) : ctx_(ctx) {
+    if (ctx_ == nullptr) return;
+    outermost_ = (ctx_->timer_depth_++ == 0);
+    if (outermost_) start_ = std::chrono::steady_clock::now();
+  }
   ~TaOpTimer() {
     if (ctx_ == nullptr) return;
+    --ctx_->timer_depth_;
+    if (!outermost_) return;
     auto end = std::chrono::steady_clock::now();
     ctx_->counters.op_nanos +=
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
@@ -118,6 +229,7 @@ class TaOpTimer {
 
  private:
   TaOpContext* ctx_;
+  bool outermost_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

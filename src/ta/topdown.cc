@@ -75,7 +75,9 @@ std::span<const StateId> TopDownIndex::SilentSources(SymbolId symbol,
                              to);
 }
 
-TopDownTA EliminateSilentTransitions(const TopDownIndex& idx) {
+TopDownTA EliminateSilentTransitions(const TopDownIndex& idx,
+                                     TaOpContext* ctx) {
+  TaOpTimer timer(ctx);
   const TopDownTA& a = idx.ta();
   TopDownTA out;
   out.num_states = a.num_states;
@@ -118,19 +120,24 @@ TopDownTA EliminateSilentTransitions(const TopDownIndex& idx) {
   };
 
   for (const TopDownTA::BinaryRule& r : a.rules) {
+    // Interrupted: emit no further rules. Every rule already emitted is
+    // sound; callers consult TaInterruptStatus before trusting completeness.
+    if (!TaCheckpoint(ctx).ok()) break;
     for (StateId q : backward_set(r.symbol, r.from)) {
       out.AddRule(r.symbol, q, r.left, r.right);
     }
   }
   for (const TopDownTA::FinalPair& f : a.final_pairs) {
+    if (!TaCheckpoint(ctx).ok()) break;
     for (StateId q : backward_set(f.symbol, f.state)) {
       out.AddFinalPair(f.symbol, q);
     }
   }
+  TaCountRules(ctx, out.rules.size() + out.final_pairs.size());
   return out;
 }
 
-TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
+TopDownTA EliminateSilentTransitions(const TopDownTA& a, TaOpContext* ctx) {
   // Fast path: nothing to eliminate, skip index construction entirely.
   if (a.silent.empty()) {
     TopDownTA out;
@@ -141,7 +148,7 @@ TopDownTA EliminateSilentTransitions(const TopDownTA& a) {
     out.rules = a.rules;
     return out;
   }
-  return EliminateSilentTransitions(TopDownIndex(a));
+  return EliminateSilentTransitions(TopDownIndex(a), ctx);
 }
 
 bool TopDownAccepts(const TopDownIndex& idx, const BinaryTree& tree) {

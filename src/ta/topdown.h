@@ -21,6 +21,7 @@
 #include "src/common/status.h"
 #include "src/regex/nfa.h"  // for StateId
 #include "src/ta/csr.h"
+#include "src/ta/op_context.h"
 #include "src/tree/binary_tree.h"
 
 namespace pebbletc {
@@ -115,9 +116,13 @@ class TopDownIndex {
 
 /// The Section 2.3 construction: an equivalent automaton with no silent
 /// transitions. (Transitions (a,q)→(q1,q2) are added whenever q ⇒*_a q' and
-/// (a,q')→(q1,q2); likewise for final pairs.)
-TopDownTA EliminateSilentTransitions(const TopDownTA& a);
-TopDownTA EliminateSilentTransitions(const TopDownIndex& a);
+/// (a,q')→(q1,q2); likewise for final pairs.) On interruption (checkpoint
+/// trip on `ctx`) the elimination drains early with a sound-but-incomplete
+/// automaton; callers check TaInterruptStatus(ctx).
+TopDownTA EliminateSilentTransitions(const TopDownTA& a,
+                                     TaOpContext* ctx = nullptr);
+TopDownTA EliminateSilentTransitions(const TopDownIndex& a,
+                                     TaOpContext* ctx = nullptr);
 
 /// Direct acceptance check via alternating-graph accessibility on the
 /// configuration space (state × node) — handles silent transitions. The

@@ -71,64 +71,101 @@ class Cursor {
   size_t pos_ = 0;
 };
 
+// Iterative (explicit-stack) parser: nesting depth is bounded by heap, not
+// the call stack, so adversarially deep terms cannot overflow.
 Result<NodeId> ParseUnrankedNode(Cursor& cur, Alphabet* alphabet,
                                  UnrankedTree* tree) {
-  PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
-  SymbolId tag = alphabet->Intern(name);
-  std::vector<NodeId> kids;
-  if (cur.Consume('(')) {
-    if (!cur.Consume(')')) {
-      while (true) {
-        PEBBLETC_ASSIGN_OR_RETURN(NodeId child,
-                                  ParseUnrankedNode(cur, alphabet, tree));
-        kids.push_back(child);
-        if (cur.Consume(',')) continue;
-        if (cur.Consume(')')) break;
-        return Status::ParseError("expected ',' or ')' at offset " +
-                                  std::to_string(cur.pos()));
+  // One frame per open '(' whose children are still being parsed.
+  struct Frame {
+    SymbolId tag;
+    std::vector<NodeId> kids;
+  };
+  std::vector<Frame> stack;
+  while (true) {
+    PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
+    SymbolId tag = alphabet->Intern(name);
+    if (cur.Consume('(') && !cur.Consume(')')) {
+      stack.push_back({tag, {}});
+      continue;  // descend into the first child
+    }
+    NodeId done = tree->AddNode(tag, {});
+    // Attach the completed subtree upward, closing frames as ')' allows.
+    while (true) {
+      if (stack.empty()) return done;
+      stack.back().kids.push_back(done);
+      if (cur.Consume(',')) break;  // next sibling
+      if (cur.Consume(')')) {
+        Frame f = std::move(stack.back());
+        stack.pop_back();
+        done = tree->AddNode(f.tag, std::move(f.kids));
+        continue;
       }
+      return Status::ParseError("expected ',' or ')' at offset " +
+                                std::to_string(cur.pos()));
     }
   }
-  return tree->AddNode(tag, std::move(kids));
 }
 
 Result<NodeId> ParseBinaryNode(Cursor& cur, const RankedAlphabet& alphabet,
                                BinaryTree* tree) {
-  PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
-  SymbolId sym = alphabet.Find(name);
-  if (sym == kNoSymbol) {
-    return Status::ParseError("unknown symbol '" + name + "'");
-  }
-  if (cur.Peek() == '(') {
-    cur.Consume('(');
-    if (cur.Consume(')')) {
+  // One frame per binary node awaiting children; left < 0 until the left
+  // subtree completes.
+  struct Frame {
+    SymbolId sym;
+    std::string name;
+    int64_t left = -1;
+  };
+  std::vector<Frame> stack;
+  while (true) {
+    PEBBLETC_ASSIGN_OR_RETURN(std::string name, cur.ReadName());
+    SymbolId sym = alphabet.Find(name);
+    if (sym == kNoSymbol) {
+      return Status::ParseError("unknown symbol '" + name + "'");
+    }
+    NodeId done;
+    if (cur.Peek() == '(') {
+      cur.Consume('(');
+      if (cur.Consume(')')) {
+        if (alphabet.Rank(sym) != 0) {
+          return Status::ParseError("binary symbol '" + name +
+                                    "' used with no children");
+        }
+        done = tree->AddLeaf(sym);
+      } else {
+        if (alphabet.Rank(sym) != 2) {
+          return Status::ParseError("leaf symbol '" + name +
+                                    "' used with children");
+        }
+        stack.push_back({sym, std::move(name), -1});
+        continue;  // descend into the left child
+      }
+    } else {
       if (alphabet.Rank(sym) != 0) {
         return Status::ParseError("binary symbol '" + name +
-                                  "' used with no children");
+                                  "' used without children");
       }
-      return tree->AddLeaf(sym);
+      done = tree->AddLeaf(sym);
     }
-    if (alphabet.Rank(sym) != 2) {
-      return Status::ParseError("leaf symbol '" + name +
-                                "' used with children");
+    // Attach the completed subtree upward.
+    while (true) {
+      if (stack.empty()) return done;
+      Frame& f = stack.back();
+      if (f.left < 0) {
+        f.left = done;
+        if (!cur.Consume(',')) {
+          return Status::ParseError("binary symbol '" + f.name +
+                                    "' needs exactly two children");
+        }
+        break;  // parse the right child
+      }
+      if (!cur.Consume(')')) {
+        return Status::ParseError("expected ')' at offset " +
+                                  std::to_string(cur.pos()));
+      }
+      done = tree->AddInternal(f.sym, static_cast<NodeId>(f.left), done);
+      stack.pop_back();
     }
-    PEBBLETC_ASSIGN_OR_RETURN(NodeId l, ParseBinaryNode(cur, alphabet, tree));
-    if (!cur.Consume(',')) {
-      return Status::ParseError("binary symbol '" + name +
-                                "' needs exactly two children");
-    }
-    PEBBLETC_ASSIGN_OR_RETURN(NodeId r, ParseBinaryNode(cur, alphabet, tree));
-    if (!cur.Consume(')')) {
-      return Status::ParseError("expected ')' at offset " +
-                                std::to_string(cur.pos()));
-    }
-    return tree->AddInternal(sym, l, r);
   }
-  if (alphabet.Rank(sym) != 0) {
-    return Status::ParseError("binary symbol '" + name +
-                              "' used without children");
-  }
-  return tree->AddLeaf(sym);
 }
 
 }  // namespace

@@ -55,55 +55,77 @@ class XmlParser {
     return std::string(text_.substr(start, pos_ - start));
   }
 
+  // Iterative (explicit-stack) parser: nesting depth is bounded by heap, not
+  // the call stack, so adversarially deep documents cannot overflow.
   Result<NodeId> ParseElement() {
-    if (pos_ >= text_.size() || text_[pos_] != '<') {
-      return Status::ParseError("expected '<' at offset " +
-                                std::to_string(pos_));
-    }
-    ++pos_;
-    PEBBLETC_ASSIGN_OR_RETURN(std::string name, ParseName());
-    // No attributes in this fragment: next must be '/>' or '>'.
-    if (pos_ < text_.size() &&
-        std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      return Status::ParseError(
-          "attributes are not supported (element '" + name + "')");
-    }
-    SymbolId tag = alphabet_->Intern(name);
-    if (text_.substr(pos_).substr(0, 2) == "/>") {
-      pos_ += 2;
-      return tree_.AddNode(tag);
-    }
-    if (pos_ >= text_.size() || text_[pos_] != '>') {
-      return Status::ParseError("expected '>' at offset " +
-                                std::to_string(pos_));
-    }
-    ++pos_;
-    std::vector<NodeId> kids;
+    // One frame per element whose closing tag is still pending.
+    struct Frame {
+      std::string name;
+      SymbolId tag;
+      std::vector<NodeId> kids;
+    };
+    std::vector<Frame> stack;
     while (true) {
-      SkipMisc();
-      if (text_.substr(pos_).substr(0, 2) == "</") {
+      // Parse one element head: '<name' then '/>' or '>'.
+      if (pos_ >= text_.size() || text_[pos_] != '<') {
+        return Status::ParseError("expected '<' at offset " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+      PEBBLETC_ASSIGN_OR_RETURN(std::string name, ParseName());
+      // No attributes in this fragment: next must be '/>' or '>'.
+      if (pos_ < text_.size() &&
+          std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        return Status::ParseError(
+            "attributes are not supported (element '" + name + "')");
+      }
+      SymbolId tag = alphabet_->Intern(name);
+      if (text_.substr(pos_).substr(0, 2) == "/>") {
         pos_ += 2;
-        PEBBLETC_ASSIGN_OR_RETURN(std::string close, ParseName());
-        if (close != name) {
-          return Status::ParseError("mismatched </" + close + ">, expected </" +
-                                    name + ">");
-        }
+        NodeId leaf = tree_.AddNode(tag);
+        if (stack.empty()) return leaf;
+        stack.back().kids.push_back(leaf);
+      } else {
         if (pos_ >= text_.size() || text_[pos_] != '>') {
-          return Status::ParseError("expected '>' after closing tag");
+          return Status::ParseError("expected '>' at offset " +
+                                    std::to_string(pos_));
         }
         ++pos_;
-        return tree_.AddNode(tag, std::move(kids));
+        stack.push_back({std::move(name), tag, {}});
       }
-      if (pos_ >= text_.size()) {
-        return Status::ParseError("unexpected end of input inside <" + name +
-                                  ">");
+      // Consume content of the innermost open element: close tags pop frames;
+      // a new open tag breaks back out to the head parser above.
+      while (!stack.empty()) {
+        SkipMisc();
+        if (text_.substr(pos_).substr(0, 2) == "</") {
+          pos_ += 2;
+          PEBBLETC_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != stack.back().name) {
+            return Status::ParseError("mismatched </" + close +
+                                      ">, expected </" + stack.back().name +
+                                      ">");
+          }
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Status::ParseError("expected '>' after closing tag");
+          }
+          ++pos_;
+          Frame f = std::move(stack.back());
+          stack.pop_back();
+          NodeId node = tree_.AddNode(f.tag, std::move(f.kids));
+          if (stack.empty()) return node;
+          stack.back().kids.push_back(node);
+          continue;
+        }
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("unexpected end of input inside <" +
+                                    stack.back().name + ">");
+        }
+        if (text_[pos_] != '<') {
+          return Status::ParseError("text content is not supported (inside <" +
+                                    stack.back().name + ">)");
+        }
+        break;  // a child element begins here
       }
-      if (text_[pos_] != '<') {
-        return Status::ParseError(
-            "text content is not supported (inside <" + name + ">)");
-      }
-      PEBBLETC_ASSIGN_OR_RETURN(NodeId child, ParseElement());
-      kids.push_back(child);
     }
   }
 

@@ -39,6 +39,18 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::LimitExceeded("x").code(), StatusCode::kLimitExceeded);
+}
+
+TEST(StatusTest, ExecutionControlCodesHaveDistinctNames) {
+  // The interruption codes must stay distinguishable in logs and reports:
+  // deadline vs cancel vs budget exhaustion drive different caller policy.
+  EXPECT_EQ(Status::DeadlineExceeded("t").ToString(), "deadline-exceeded: t");
+  EXPECT_EQ(Status::Cancelled("t").ToString(), "cancelled: t");
+  EXPECT_EQ(Status::LimitExceeded("t").ToString(), "limit-exceeded: t");
 }
 
 TEST(StatusTest, CopyPreservesState) {

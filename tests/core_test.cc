@@ -320,5 +320,112 @@ TEST(DownwardProductTest, AgreesWithPerInputChecks) {
   }
 }
 
+// Root must be the binary symbol `n`; subtrees are unconstrained. Used to
+// give the degraded salvage search a violation it can find on a leaf input.
+Nbta RootIsBinary(const RankedAlphabet& sigma) {
+  Nbta a;
+  a.num_symbols = static_cast<uint32_t>(sigma.size());
+  StateId any = a.AddState();
+  StateId root = a.AddState();
+  a.accepting[root] = true;
+  for (SymbolId s : sigma.LeafSymbols()) a.AddLeafRule(s, any);
+  for (SymbolId s : sigma.BinarySymbols()) {
+    a.AddRule(s, any, any, any);
+    a.AddRule(s, root, any, any);
+  }
+  return a;
+}
+
+TEST(TypecheckTest, VerdictLadderTable) {
+  // One scenario per rung of the degradation ladder:
+  //  1. exact pass decides, nothing exhausted;
+  //  2. an early pass exhausts but a later exact pass still proves the
+  //     instance (exhausted=true yet the verdict is exact);
+  //  3. every exact pass is starved, the degraded enumeration salvages a
+  //     concrete counterexample;
+  //  4. everything is starved and no violation exists within the salvage
+  //     budget — kUnknown, never a fake kTypechecks.
+  RankedAlphabet tiny = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(tiny);
+  Typechecker copy_tc(copy, tiny, tiny);
+  Nbta tau_a0 = AllLeaves(tiny, tiny.Find("a0"));
+
+  RankedAlphabet micro = MicroRanked();
+  PebbleTransducer nd = TinyNonDownward(micro);
+  Typechecker nd_tc(nd, micro, micro);
+  Nbta uni = UniversalNbta(micro);
+  Nbta root_n = RootIsBinary(micro);
+  Nbta all_l = AllLeaves(micro, micro.Find("l"));
+
+  TypecheckOptions exact;  // defaults: every pass fully budgeted
+
+  TypecheckOptions tight_configs;  // pass 1's per-tree config spaces blow
+  tight_configs.max_configs = 1;
+
+  TypecheckOptions no_exact;  // complement(τ2) exhausts before any pass
+  no_exact.refutation_max_trees = 0;
+  no_exact.max_det_states = 1;
+
+  struct Case {
+    const char* name;
+    const Typechecker* tc;
+    const Nbta* tau1;
+    const Nbta* tau2;
+    const TypecheckOptions* opts;
+    TypecheckVerdict want_verdict;
+    const char* want_method;
+    bool want_exhausted;
+    const char* want_pass;  // ExhaustionReport::pass when exhausted
+  };
+  const Case kCases[] = {
+      {"exact-decides", &copy_tc, &tau_a0, &tau_a0, &exact,
+       TypecheckVerdict::kTypechecks, "downward-fastpath", false, ""},
+      {"later-pass-rescues-exhausted-refutation", &copy_tc, &tau_a0, &tau_a0,
+       &tight_configs, TypecheckVerdict::kTypechecks, "downward-fastpath",
+       true, "bounded-refutation"},
+      {"degraded-search-salvages-witness", &nd_tc, &uni, &root_n, &no_exact,
+       TypecheckVerdict::kCounterexample, "degraded-enumeration", true,
+       "output-complement"},
+      {"unknown-when-everything-exhausts", &nd_tc, &uni, &all_l, &no_exact,
+       TypecheckVerdict::kUnknown, "none", true, "output-complement"},
+  };
+
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    auto r =
+        std::move(c.tc->Typecheck(*c.tau1, *c.tau2, *c.opts)).ValueOrDie();
+    EXPECT_EQ(r.verdict, c.want_verdict);
+    EXPECT_EQ(r.method, c.want_method);
+    EXPECT_EQ(r.exhausted.exhausted, c.want_exhausted);
+    if (c.want_exhausted) {
+      EXPECT_EQ(r.exhausted.pass, c.want_pass);
+      EXPECT_NE(r.exhausted.code, StatusCode::kOk);
+      EXPECT_FALSE(r.exhausted.detail.empty());
+      EXPECT_FALSE(r.notes.empty());
+    } else {
+      EXPECT_EQ(r.exhausted.code, StatusCode::kOk);
+    }
+    // kUnknown must never masquerade as proof: a kTypechecks verdict may
+    // only come from an exact pass, and the salvage search only ever
+    // upgrades kUnknown to kCounterexample.
+    if (r.verdict == TypecheckVerdict::kTypechecks) {
+      EXPECT_NE(r.method, "none");
+      EXPECT_NE(r.method, "degraded-enumeration");
+    }
+    if (r.verdict == TypecheckVerdict::kCounterexample) {
+      // Witnesses are genuine even when produced by the salvage pass.
+      ASSERT_TRUE(r.counterexample_input.has_value());
+      ASSERT_TRUE(r.counterexample_output.has_value());
+      EXPECT_TRUE(c.tau1->Accepts(*r.counterexample_input));
+      EXPECT_FALSE(c.tau2->Accepts(*r.counterexample_output));
+    }
+    if (r.verdict == TypecheckVerdict::kUnknown) {
+      EXPECT_NE(r.notes.find("degraded-enumeration: no violation"),
+                std::string::npos)
+          << r.notes;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pebbletc

@@ -80,27 +80,56 @@ TEST_P(ParserFuzz, NoParserCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<uint64_t>(0, 10));
 
 TEST(ParserFuzz, DeeplyNestedInputsDoNotOverflow) {
-  // Parsers are recursive-descent; very deep nesting must either parse or
-  // fail cleanly within sane stack use. 2000 levels is far beyond any real
-  // document while safely within default stack limits for these frames.
+  // The term and XML parsers keep their own explicit stacks, so nesting
+  // depth is bounded by heap only: a million levels must parse. The regex
+  // parser is recursive-descent with a depth cap and must refuse cleanly
+  // with kLimitExceeded (this also covers DTD content models, which parse
+  // through ParseRegexClosed).
+  constexpr size_t kDepth = 1000000;
+
   std::string deep;
-  for (int i = 0; i < 2000; ++i) deep += "a(";
+  deep.reserve(3 * kDepth + 1);
+  for (size_t i = 0; i < kDepth; ++i) deep += "a(";
   deep += "b";
-  for (int i = 0; i < 2000; ++i) deep += ")";
+  for (size_t i = 0; i < kDepth; ++i) deep += ")";
   Alphabet sigma;
   auto r = ParseUnrankedTerm(deep, &sigma);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->size(), 2001u);
-  EXPECT_EQ(r->Depth(), 2001u);
+  EXPECT_EQ(r->size(), kDepth + 1);
+  EXPECT_EQ(r->Depth(), kDepth + 1);
 
   std::string deep_xml;
-  for (int i = 0; i < 2000; ++i) deep_xml += "<a>";
+  deep_xml.reserve(7 * kDepth + 4);
+  for (size_t i = 0; i < kDepth; ++i) deep_xml += "<a>";
   deep_xml += "<b/>";
-  for (int i = 0; i < 2000; ++i) deep_xml += "</a>";
+  for (size_t i = 0; i < kDepth; ++i) deep_xml += "</a>";
   Alphabet sigma2;
   auto x = ParseXml(deep_xml, &sigma2);
   ASSERT_TRUE(x.ok());
-  EXPECT_EQ(x->size(), 2001u);
+  EXPECT_EQ(x->size(), kDepth + 1);
+
+  std::string deep_bin;
+  deep_bin.reserve(5 * kDepth + 1);
+  for (size_t i = 0; i < kDepth; ++i) deep_bin += "f(";
+  deep_bin += "a";
+  for (size_t i = 0; i < kDepth; ++i) deep_bin += ",a)";
+  RankedAlphabet ranked;
+  (void)ranked.AddBinary("f");
+  (void)ranked.AddLeaf("a");
+  auto b = ParseBinaryTerm(deep_bin, ranked);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 2 * kDepth + 1);
+  EXPECT_EQ(b->Depth(), kDepth + 1);
+
+  std::string deep_regex;
+  deep_regex.reserve(2 * kDepth + 1);
+  for (size_t i = 0; i < kDepth; ++i) deep_regex += "(";
+  deep_regex += "a";
+  for (size_t i = 0; i < kDepth; ++i) deep_regex += ")";
+  Alphabet sigma3;
+  auto re = ParseRegex(deep_regex, &sigma3);
+  ASSERT_FALSE(re.ok());
+  EXPECT_EQ(re.status().code(), StatusCode::kLimitExceeded);
 }
 
 TEST(ParserFuzz, PathologicalRegexesStayPolynomial) {

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "src/alphabet/alphabet.h"
 #include "src/common/rng.h"
@@ -13,6 +16,7 @@
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta.h"
 #include "src/ta/random_ta.h"
+#include "src/ta/op_context.h"
 #include "src/ta/topdown.h"
 #include "src/tree/random_tree.h"
 #include "src/tree/term.h"
@@ -429,6 +433,73 @@ TEST(DbtaMinimizeTest, CanonicalSizesForKnownLanguages) {
   auto all_a0 = std::move(DeterminizeNbta(AllLeavesA0(), sigma)).ValueOrDie();
   auto min_a0 = std::move(MinimizeDbta(all_a0, sigma)).ValueOrDie();
   EXPECT_EQ(min_a0.num_states(), 3u);
+}
+
+TEST(OpContextTest, NestedTimersCountWallTimeOnce) {
+  // Operations frequently call other timed operations (Complement →
+  // Determinize → Index builds); only the outermost TaOpTimer scope may
+  // accumulate, or op_nanos multiplies by the nesting depth.
+  TaOpContext ctx;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    TaOpTimer outer(&ctx);
+    {
+      TaOpTimer mid(&ctx);
+      TaOpTimer inner(&ctx);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  const uint64_t wall = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  EXPECT_GE(ctx.counters.op_nanos, 20u * 1000 * 1000);
+  // Triple-counting would report ~3× the sleep, far above the wall clock.
+  EXPECT_LE(ctx.counters.op_nanos, wall);
+}
+
+TEST(OpContextTest, FaultInjectorTripsExactCheckpointAndSticks) {
+  TaOpContext ctx;
+  TaFaultInjector fault;
+  fault.trip_at = 3;
+  fault.code = StatusCode::kResourceExhausted;
+  ctx.fault = &fault;
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_TRUE(ctx.Checkpoint().ok());
+  Status s = ctx.Checkpoint();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(fault.tripped);
+  // Sticky: later checkpoints return the same Status without advancing the
+  // ordinal counter, so `checkpoints` records exactly where the run died.
+  EXPECT_EQ(ctx.Checkpoint().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.counters.checkpoints, 4u);
+  EXPECT_EQ(ctx.interrupt().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.interrupted());
+}
+
+TEST(OpContextTest, DeadlineIsPolledAtStrideBoundaries) {
+  TaOpBudgets budgets;
+  budgets.checkpoint_stride = 4;
+  TaOpContext ctx(budgets);
+  // Checkpoint 0 polls the clock (0 % stride == 0); pass it first, then set
+  // a deadline in the past: calls 1..3 skip the poll, call 4 trips.
+  EXPECT_TRUE(ctx.Checkpoint().ok());
+  ctx.budgets.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  for (uint64_t n = 1; n < 4; ++n) EXPECT_TRUE(ctx.Checkpoint().ok());
+  EXPECT_EQ(ctx.Checkpoint().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(OpContextTest, CancelIsPolledEveryCheckpoint) {
+  std::atomic<bool> cancel{false};
+  TaOpBudgets budgets;
+  budgets.cancel = &cancel;
+  budgets.checkpoint_stride = 1u << 30;  // stride must not delay cancel
+  TaOpContext ctx(budgets);
+  EXPECT_TRUE(ctx.Checkpoint().ok());
+  cancel.store(true);
+  EXPECT_EQ(ctx.Checkpoint().code(), StatusCode::kCancelled);
+  // TaInterruptStatus exposes the sticky state to value-returning callers.
+  EXPECT_EQ(TaInterruptStatus(&ctx).code(), StatusCode::kCancelled);
 }
 
 }  // namespace
