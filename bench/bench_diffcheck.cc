@@ -1,0 +1,161 @@
+// E13 (docs/DIFFCHECK.md): cost of the differential oracle. Two series:
+// the overhead of each naive reference op (src/check/reference_ops.h)
+// relative to its optimized twin (src/ta/nbta.h) — the price of having an
+// independent oracle at all — and the end-to-end per-iteration cost of the
+// diffcheck harness, which sets the iteration budget the CI sweeps can
+// afford.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/check/diffcheck.h"
+#include "src/check/reference_ops.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/ta/nbta.h"
+#include "src/ta/nbta_index.h"
+#include "src/ta/random_ta.h"
+#include "src/tree/random_tree.h"
+
+namespace pebbletc {
+namespace {
+
+// The harness alphabet (a0, b0, a2, b2) and a reproducible automaton of
+// state.range(0) states, dense enough that products and subset
+// constructions do real work.
+Nbta DrawNbta(const RankedAlphabet& sigma, uint64_t seed, uint32_t states) {
+  Rng rng(seed);
+  RandomNbtaOptions opts;
+  opts.num_states = states;
+  opts.rule_density = 0.3;
+  opts.leaf_density = 0.5;
+  return RandomNbta(sigma, rng, opts);
+}
+
+void BM_MembershipOptimized(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 11, static_cast<uint32_t>(state.range(0)));
+  NbtaIndex idx(a);
+  Rng rng(12);
+  BinaryTree t = RandomBinaryTree(sigma, rng, 63);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NbtaAccepts(idx, t));
+  }
+}
+BENCHMARK(BM_MembershipOptimized)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MembershipReference(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 11, static_cast<uint32_t>(state.range(0)));
+  Rng rng(12);
+  BinaryTree t = RandomBinaryTree(sigma, rng, 63);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RefAccepts(a, t));
+  }
+}
+BENCHMARK(BM_MembershipReference)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DeterminizeOptimized(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 13, static_cast<uint32_t>(state.range(0)));
+  size_t det_states = 0;
+  for (auto _ : state) {
+    auto det = DeterminizeNbta(a, sigma);
+    PEBBLETC_CHECK(det.ok());
+    det_states = det->num_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["det_states"] = static_cast<double>(det_states);
+}
+BENCHMARK(BM_DeterminizeOptimized)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_DeterminizeReference(benchmark::State& state) {
+  // The reference explores all 2^n subsets, so it is capped at 10 states
+  // (kRefMaxDeterminizeStates); the optimized op only materializes
+  // reachable subsets.
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 13, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto det = RefDeterminize(a, sigma);
+    PEBBLETC_CHECK(det.ok());
+    benchmark::DoNotOptimize(det);
+  }
+}
+BENCHMARK(BM_DeterminizeReference)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_IntersectOptimized(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 17, static_cast<uint32_t>(state.range(0)));
+  Nbta b = DrawNbta(sigma, 18, static_cast<uint32_t>(state.range(0)));
+  size_t prod_states = 0;
+  for (auto _ : state) {
+    Nbta prod = IntersectNbta(a, b);
+    prod_states = prod.num_states;
+    benchmark::DoNotOptimize(prod);
+  }
+  // The optimized product only materializes inhabited pairs.
+  state.counters["prod_states"] = static_cast<double>(prod_states);
+}
+BENCHMARK(BM_IntersectOptimized)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_IntersectReference(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 17, static_cast<uint32_t>(state.range(0)));
+  Nbta b = DrawNbta(sigma, 18, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Nbta prod = RefIntersect(a, b);
+    benchmark::DoNotOptimize(prod);
+  }
+}
+BENCHMARK(BM_IntersectReference)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CountOptimized(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 19, 6);
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountAcceptedTrees(a, nodes));
+  }
+}
+BENCHMARK(BM_CountOptimized)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_CountReference(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  Nbta a = DrawNbta(sigma, 19, 6);
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RefCountAcceptedTrees(a, nodes));
+  }
+}
+BENCHMARK(BM_CountReference)->Arg(9)->Arg(17)->Arg(33);
+
+// End-to-end harness iterations per second: the number CI sweep sizing is
+// based on. One benchmark iteration = `per_batch` diffcheck iterations with
+// the default law cadences.
+void BM_DiffcheckIteration(benchmark::State& state) {
+  const size_t per_batch = 8;
+  size_t start = 0;
+  size_t comparisons = 0;
+  for (auto _ : state) {
+    DiffcheckOptions opts;
+    opts.seed = 20260806;
+    opts.start = start;
+    opts.iters = per_batch;
+    DiffcheckReport report = RunDiffcheck(opts);
+    PEBBLETC_CHECK(report.ok());
+    comparisons += report.comparisons;
+    start += per_batch;  // fresh instances every batch, still reproducible
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * per_batch));
+  state.counters["comparisons_per_iter"] =
+      static_cast<double>(comparisons) /
+      static_cast<double>(state.iterations() * per_batch);
+}
+BENCHMARK(BM_DiffcheckIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pebbletc

@@ -1,0 +1,1148 @@
+#include "src/check/diffcheck.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/reference_ops.h"
+#include "src/check/shrink.h"
+#include "src/common/check.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/typechecker.h"
+#include "src/pt/paper_machines.h"
+#include "src/ta/convert.h"
+#include "src/ta/enumerate.h"
+#include "src/ta/nbta.h"
+#include "src/ta/nbta_index.h"
+#include "src/ta/op_context.h"
+#include "src/ta/random_ta.h"
+#include "src/ta/topdown.h"
+#include "src/tree/encode.h"
+#include "src/tree/random_tree.h"
+#include "src/tree/term.h"
+
+namespace pebbletc {
+
+namespace {
+
+// Extended-alphabet symbols mapped back onto the base alphabet: a0,b0,a2,b2
+// are fixed by the relabeling, u0 -> a0 and u2 -> a2 (rank-preserving).
+const std::vector<SymbolId> kExtToBase = {0, 1, 2, 3, 0, 2};
+
+// splitmix64-style mixing so that (seed, iteration) pairs land on
+// well-separated Rng streams even for adjacent seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t iteration) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (iteration + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// `tree` with every symbol s replaced by map[s]. The map must be
+// rank-preserving for the result to be well-ranked.
+BinaryTree RelabelTree(const BinaryTree& tree,
+                       const std::vector<SymbolId>& map) {
+  BinaryTree out;
+  std::vector<NodeId> copied(tree.size());
+  // NodeId order has children before parents, so one forward pass suffices.
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    SymbolId s = map[tree.symbol(n)];
+    copied[n] = tree.IsLeaf(n)
+                    ? out.AddLeaf(s)
+                    : out.AddInternal(s, copied[tree.left(n)],
+                                      copied[tree.right(n)]);
+  }
+  out.SetRoot(copied[tree.root()]);
+  return out;
+}
+
+// Does any preimage of `u` under `map` (a tree over the larger alphabet that
+// relabels to `u`) lie in inst(a)? Brute force over all symbol choices.
+bool HasAcceptedPreimage(const Nbta& a, const BinaryTree& u,
+                         const std::vector<SymbolId>& map,
+                         const RankedAlphabet& large_sigma) {
+  // by_small[s] = symbols of the larger alphabet mapping to s.
+  std::vector<std::vector<SymbolId>> by_small;
+  for (SymbolId big = 0; big < map.size(); ++big) {
+    SymbolId small = map[big];
+    if (by_small.size() <= small) by_small.resize(small + 1);
+    by_small[small].push_back(big);
+  }
+  std::vector<SymbolId> choice(u.size());
+  std::function<bool(NodeId)> assign = [&](NodeId n) -> bool {
+    if (n == u.size()) {
+      BinaryTree candidate;
+      std::vector<NodeId> copied(u.size());
+      for (NodeId m = 0; m < u.size(); ++m) {
+        copied[m] = u.IsLeaf(m)
+                        ? candidate.AddLeaf(choice[m])
+                        : candidate.AddInternal(choice[m],
+                                                copied[u.left(m)],
+                                                copied[u.right(m)]);
+      }
+      candidate.SetRoot(copied[u.root()]);
+      return RefAccepts(a, candidate);
+    }
+    for (SymbolId big : by_small[u.symbol(n)]) {
+      bool rank_ok = u.IsLeaf(n) ? large_sigma.IsLeaf(big)
+                                 : large_sigma.IsBinary(big);
+      if (!rank_ok) continue;
+      choice[n] = big;
+      if (assign(n + 1)) return true;
+    }
+    return false;
+  };
+  return assign(0);
+}
+
+TaOpContext BudgetCtx(const DiffcheckOptions& opts) {
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = opts.max_det_states;
+  return ctx;
+}
+
+using Pred1 = std::function<bool(const Nbta&, const BinaryTree&)>;
+using Pred2 =
+    std::function<bool(const Nbta&, const Nbta&, const BinaryTree&)>;
+using PredA = std::function<bool(const Nbta&)>;
+
+// Joint shrink of a two-automata-plus-tree witness: round-robin over the
+// three components until a full round makes no progress.
+void ShrinkTwoNbtaAndTree(Nbta* a, Nbta* b, BinaryTree* tree,
+                          const Pred2& still_fails) {
+  bool progress = true;
+  while (progress) {
+    const size_t before = a->num_states + a->rules.size() +
+                          a->leaf_rules.size() + b->num_states +
+                          b->rules.size() + b->leaf_rules.size() +
+                          tree->size();
+    *a = ShrinkNbta(std::move(*a), [&](const Nbta& ca) {
+      return still_fails(ca, *b, *tree);
+    });
+    *b = ShrinkNbta(std::move(*b), [&](const Nbta& cb) {
+      return still_fails(*a, cb, *tree);
+    });
+    *tree = ShrinkTree(std::move(*tree), [&](const BinaryTree& ct) {
+      return still_fails(*a, *b, ct);
+    });
+    progress = a->num_states + a->rules.size() + a->leaf_rules.size() +
+                   b->num_states + b->rules.size() + b->leaf_rules.size() +
+                   tree->size() <
+               before;
+  }
+}
+
+std::string CanonicalKey(const BinaryTree& t, const RankedAlphabet& sigma) {
+  return BinaryTermString(t, sigma);
+}
+
+class Harness {
+ public:
+  explicit Harness(const DiffcheckOptions& opts)
+      : opts_(opts),
+        base_(DiffcheckAlphabet(false)),
+        ext_(DiffcheckAlphabet(true)) {
+    exhaustive_base_ = AllTreesUpToNodes(base_, opts_.exhaustive_max_nodes,
+                                         kExhaustiveCap, &trunc_base_);
+    exhaustive_ext_ = AllTreesUpToNodes(ext_, opts_.exhaustive_max_nodes,
+                                        kExhaustiveCap, &trunc_ext_);
+    tags_.Intern("p");
+    tags_.Intern("q");
+    tags_.Intern("r");
+    enc_ = std::move(MakeEncodedAlphabet(tags_)).ValueOrDie();
+  }
+
+  DiffcheckReport Run() {
+    for (size_t i = opts_.start; i < opts_.start + opts_.iters; ++i) {
+      if (report_.failures.size() >= opts_.max_failures) break;
+      RunIteration(i);
+      ++report_.iterations;
+    }
+    return std::move(report_);
+  }
+
+ private:
+  static constexpr size_t kExhaustiveCap = 1000;
+  // Per-tree laws on determinization-sized automata (complement and the
+  // De Morgan composites) only probe every kProbeStride-th exhaustive tree.
+  static constexpr size_t kProbeStride = 7;
+
+  bool LawDone(const char* law) const { return failed_laws_.count(law) != 0; }
+
+  void Fail(const char* law, size_t iter, const std::string& detail,
+            const std::string& repro) {
+    if (LawDone(law) || report_.failures.size() >= opts_.max_failures) {
+      ++report_.suppressed_failures;
+      return;
+    }
+    failed_laws_.insert(law);
+    DiffcheckFailure f;
+    f.law = law;
+    f.iteration = iter;
+    f.seed = opts_.seed;
+    f.detail = detail;
+    f.repro = repro;
+    report_.failures.push_back(std::move(f));
+  }
+
+  std::string Repro(const char* law, size_t iter, bool extended,
+                    const Nbta* a, const Nbta* b, const BinaryTree* t,
+                    const std::string& expect) {
+    const RankedAlphabet& sigma = extended ? ext_ : base_;
+    std::ostringstream os;
+    os << "// law \"" << law << "\" violated at iteration " << iter
+       << " (seed " << opts_.seed << ").\n";
+    os << "// replay: ta_diffcheck --seed=" << opts_.seed << " --start=" << iter
+       << " --iters=1\n";
+    os << "RankedAlphabet sigma = DiffcheckAlphabet("
+       << (extended ? "true" : "false") << ");\n";
+    if (a != nullptr) os << FormatNbtaConstruction(*a, sigma, "a");
+    if (b != nullptr) os << FormatNbtaConstruction(*b, sigma, "b");
+    if (t != nullptr && !t->empty()) {
+      os << "BinaryTree t = std::move(ParseBinaryTerm(\""
+         << BinaryTermString(*t, sigma) << "\", sigma)).ValueOrDie();\n";
+    }
+    os << "// expect: " << expect << "\n";
+    return os.str();
+  }
+
+  void FailTree1(const char* law, size_t iter, bool extended, const Nbta& a,
+                 const BinaryTree& t, const std::string& detail,
+                 const Pred1& violated) {
+    Nbta sa = a;
+    BinaryTree st = t;
+    if (opts_.shrink && violated && violated(sa, st)) {
+      ShrinkNbtaAndTree(&sa, &st, violated);
+    }
+    Fail(law, iter, detail, Repro(law, iter, extended, &sa, nullptr, &st,
+                                  detail));
+  }
+
+  void FailTree2(const char* law, size_t iter, bool extended, const Nbta& a,
+                 const Nbta& b, const BinaryTree& t,
+                 const std::string& detail, const Pred2& violated) {
+    Nbta sa = a;
+    Nbta sb = b;
+    BinaryTree st = t;
+    if (opts_.shrink && violated && violated(sa, sb, st)) {
+      ShrinkTwoNbtaAndTree(&sa, &sb, &st, violated);
+    }
+    Fail(law, iter, detail, Repro(law, iter, extended, &sa, &sb, &st, detail));
+  }
+
+  void FailNbta(const char* law, size_t iter, bool extended, const Nbta& a,
+                const std::string& detail, const PredA& violated) {
+    Nbta sa = a;
+    if (opts_.shrink && violated && violated(sa)) {
+      sa = ShrinkNbta(std::move(sa), violated);
+    }
+    Fail(law, iter, detail,
+         Repro(law, iter, extended, &sa, nullptr, nullptr, detail));
+  }
+
+  // Unwraps a budgeted op: ok -> value, kResourceExhausted -> nullopt plus a
+  // budget_skips tick, anything else -> a "harness/op-error" failure.
+  template <typename T>
+  std::optional<T> Budgeted(Result<T> r, const char* what, size_t iter) {
+    if (r.ok()) return std::move(r).value();
+    if (r.status().code() == StatusCode::kResourceExhausted) {
+      ++report_.budget_skips;
+      return std::nullopt;
+    }
+    Fail("harness/op-error", iter,
+         std::string(what) + ": " + r.status().ToString(), "");
+    return std::nullopt;
+  }
+
+  Nbta DrawAutomaton(const RankedAlphabet& sigma, Rng& rng) {
+    RandomNbtaOptions o;
+    o.num_states = 1 + static_cast<uint32_t>(rng.NextBelow(6));
+    o.rule_density = 0.15 + 0.65 * rng.NextDouble();
+    o.leaf_density = 0.3 + 0.5 * rng.NextDouble();
+    o.accepting_density = 0.2 + 0.5 * rng.NextDouble();
+    Nbta a = RandomNbta(sigma, rng, o);
+    // Adversarial mutations: RandomNbta never produces these shapes, but the
+    // op suite must handle them (empty language, a symbol with no rules at
+    // all — the MSO track-extension shape — and leaf-only languages).
+    if (rng.NextBool(0.10)) {
+      std::fill(a.accepting.begin(), a.accepting.end(), false);
+    }
+    if (rng.NextBool(0.15)) {
+      SymbolId s = static_cast<SymbolId>(rng.NextBelow(sigma.size()));
+      std::erase_if(a.leaf_rules,
+                    [s](const Nbta::LeafRule& r) { return r.symbol == s; });
+      std::erase_if(a.rules,
+                    [s](const Nbta::BinaryRule& r) { return r.symbol == s; });
+    }
+    if (rng.NextBool(0.10)) a.rules.clear();
+    return a;
+  }
+
+  void RunIteration(size_t iter);
+  void CheckEncodeDecode(size_t iter, Rng& rng);
+  void CheckRelabelInverse(size_t iter, const Nbta& a);
+  void CheckRelabelImage(size_t iter, const Nbta& a);
+  void CheckCounts(size_t iter, bool extended, const Nbta& a,
+                   const std::optional<Dbta>& det_a,
+                   const std::vector<BinaryTree>& exhaustive, bool truncated);
+  void CheckEnumerate(size_t iter, bool extended, const Nbta& a,
+                      const std::vector<BinaryTree>& exhaustive,
+                      bool truncated);
+  void CheckTypechecker(size_t iter, Rng& rng);
+  void CheckInferInverse(size_t iter, Rng& rng);
+
+  /// Options for every typechecker / inference call: a per-call deadline so
+  /// a pathological instance degrades to a budget skip instead of stalling
+  /// the sweep.
+  TypecheckOptions TcOptions() const {
+    TypecheckOptions o;
+    if (opts_.typecheck_deadline_ms != 0) {
+      o.deadline = std::chrono::milliseconds(opts_.typecheck_deadline_ms);
+    }
+    return o;
+  }
+
+  const DiffcheckOptions opts_;
+  DiffcheckReport report_;
+  RankedAlphabet base_;
+  RankedAlphabet ext_;
+  Alphabet tags_;
+  EncodedAlphabet enc_;
+  std::vector<BinaryTree> exhaustive_base_;
+  std::vector<BinaryTree> exhaustive_ext_;
+  bool trunc_base_ = false;
+  bool trunc_ext_ = false;
+  std::set<std::string> failed_laws_;
+};
+
+void Harness::RunIteration(size_t iter) {
+  Rng rng(MixSeed(opts_.seed, iter));
+  const bool extended = rng.NextBool(0.3);
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+  const std::vector<BinaryTree>& exhaustive =
+      extended ? exhaustive_ext_ : exhaustive_base_;
+  const bool truncated = extended ? trunc_ext_ : trunc_base_;
+
+  const Nbta a = DrawAutomaton(sigma, rng);
+  const Nbta b = DrawAutomaton(sigma, rng);
+
+  std::vector<BinaryTree> samples;
+  samples.reserve(opts_.samples_per_iter);
+  const size_t max_internal = (size_t{1} << opts_.max_depth) - 1;
+  for (size_t k = 0; k < opts_.samples_per_iter; ++k) {
+    samples.push_back(RandomBinaryTree(sigma, rng, rng.NextBelow(
+                                                       max_internal + 1)));
+  }
+
+  // --- Small derived automata, checked against every tree. ---
+  NbtaIndex idx_a(a);
+  NbtaIndex idx_b(b);
+  const Nbta inter = IntersectNbta(idx_a, idx_b);
+  const Nbta refinter = RefIntersect(a, b);
+  const Nbta uni = UnionNbta(a, b);
+  const Nbta refuni = RefUnion(a, b);
+  const Nbta self_uni = UnionNbta(a, a);
+  Nbta zero;  // 0 states, no rules: the degenerate empty-language operand.
+  zero.num_symbols = static_cast<uint32_t>(sigma.size());
+  const Nbta uni_zl = UnionNbta(zero, a);
+  const Nbta uni_zr = UnionNbta(a, zero);
+  const Nbta inter_z = IntersectNbta(a, zero);
+  const Nbta trim = TrimNbta(idx_a);
+  const Nbta reftrim = RefTrim(a);
+  const TopDownTA td = NbtaToTopDown(a);
+  const TopDownIndex td_idx(td);
+  const Nbta round = TopDownToNbta(td);
+
+  NbtaIndex idx_inter(inter), idx_refinter(refinter), idx_uni(uni),
+      idx_refuni(refuni), idx_self(self_uni), idx_uzl(uni_zl),
+      idx_uzr(uni_zr), idx_iz(inter_z), idx_trim(trim), idx_reftrim(reftrim),
+      idx_round(round);
+
+  // --- Deterministic / complement artifacts (probe subset only for the
+  // Nbta-form complements; Dbta memberships are O(nodes) so run on all). ---
+  std::optional<Dbta> det_a, det_b, min_a, min_b, refdet_a;
+  {
+    TaOpContext ctx = BudgetCtx(opts_);
+    det_a = Budgeted(DeterminizeNbta(idx_a, sigma, &ctx), "DeterminizeNbta",
+                     iter);
+  }
+  {
+    TaOpContext ctx = BudgetCtx(opts_);
+    det_b = Budgeted(DeterminizeNbta(idx_b, sigma, &ctx),
+                     "DeterminizeNbta(b)", iter);
+  }
+  refdet_a = Budgeted(RefDeterminize(a, sigma), "RefDeterminize", iter);
+  if (det_a) {
+    TaOpContext ctx = BudgetCtx(opts_);
+    min_a = Budgeted(MinimizeDbta(*det_a, sigma, &ctx), "MinimizeDbta", iter);
+  }
+  if (det_b) {
+    TaOpContext ctx = BudgetCtx(opts_);
+    min_b = Budgeted(MinimizeDbta(*det_b, sigma, &ctx), "MinimizeDbta(b)",
+                     iter);
+  }
+
+  std::optional<Nbta> comp_a, comp_b, compcomp, refcomp_a, comp_uni,
+      comp_inter;
+  {
+    TaOpContext ctx = BudgetCtx(opts_);
+    comp_a = Budgeted(ComplementNbta(idx_a, sigma, &ctx), "ComplementNbta(a)",
+                      iter);
+  }
+  {
+    TaOpContext ctx = BudgetCtx(opts_);
+    comp_b = Budgeted(ComplementNbta(idx_b, sigma, &ctx), "ComplementNbta(b)",
+                      iter);
+  }
+  refcomp_a = Budgeted(RefComplement(a, sigma), "RefComplement", iter);
+  if (comp_a) {
+    compcomp = Budgeted(ComplementNbta(*comp_a, sigma, opts_.max_det_states),
+                        "ComplementNbta(comp a)", iter);
+  }
+  // Complementing the union (12 states) and the intersection product (up to
+  // 36 states) drives the subset construction orders of magnitude harder
+  // than any other artifact; run those on a cadence with a capped budget.
+  const bool heavy =
+      opts_.demorgan_every != 0 && iter % opts_.demorgan_every == 0;
+  // Subset-construction cost is quadratic in the states materialized (every
+  // pair of reached subsets is expanded), so even *aborting* at a large
+  // budget is slow; 512 keeps the worst heavy iteration in the tens of
+  // milliseconds.
+  const size_t heavy_budget = std::min<size_t>(opts_.max_det_states, 512);
+  if (heavy) {
+    comp_uni = Budgeted(ComplementNbta(uni, sigma, heavy_budget),
+                        "ComplementNbta(a union b)", iter);
+    comp_inter = Budgeted(ComplementNbta(inter, sigma, heavy_budget),
+                          "ComplementNbta(a intersect b)", iter);
+  }
+  // Product-form De Morgan operands: complements built from the *minimized*
+  // deterministic automata, so the ¬A ∩ ¬B product stays small while the
+  // inputs remain complete and deterministic (the adversarial shape).
+  std::optional<Nbta> mincomp_a, mincomp_b;
+  if (min_a) {
+    Dbta flipped = *min_a;
+    for (StateId q = 0; q < flipped.num_states(); ++q) {
+      flipped.set_accepting(q, !flipped.accepting(q));
+    }
+    mincomp_a = flipped.ToNbta(sigma);
+  }
+  if (min_b) {
+    Dbta flipped = *min_b;
+    for (StateId q = 0; q < flipped.num_states(); ++q) {
+      flipped.set_accepting(q, !flipped.accepting(q));
+    }
+    mincomp_b = flipped.ToNbta(sigma);
+  }
+  // Even minimal automata for random languages can run to hundreds of
+  // states, and the product of two complete automata materializes every
+  // state pair; only build it when both operands are genuinely small.
+  std::optional<Nbta> inter_comp, uni_comp;
+  if (mincomp_a && mincomp_b && mincomp_a->num_states <= 32 &&
+      mincomp_b->num_states <= 32) {
+    inter_comp = IntersectNbta(*mincomp_a, *mincomp_b);
+    uni_comp = UnionNbta(*mincomp_a, *mincomp_b);
+  }
+
+  std::optional<NbtaIndex> idx_comp_a, idx_comp_b, idx_compcomp,
+      idx_refcomp_a, idx_comp_uni, idx_comp_inter, idx_inter_comp,
+      idx_uni_comp;
+  if (comp_a) idx_comp_a.emplace(*comp_a);
+  if (comp_b) idx_comp_b.emplace(*comp_b);
+  if (compcomp) idx_compcomp.emplace(*compcomp);
+  if (refcomp_a) idx_refcomp_a.emplace(*refcomp_a);
+  if (comp_uni) idx_comp_uni.emplace(*comp_uni);
+  if (comp_inter) idx_comp_inter.emplace(*comp_inter);
+  if (inter_comp) idx_inter_comp.emplace(*inter_comp);
+  if (uni_comp) idx_uni_comp.emplace(*uni_comp);
+
+  // Self-contained predicates (recompute everything from the candidate) used
+  // only when shrinking a failing witness. A budget failure means "can't
+  // reproduce on this candidate", i.e. not failing.
+  const RankedAlphabet* sig = &sigma;
+  const DiffcheckOptions* op = &opts_;
+  Pred1 v_membership = [](const Nbta& ca, const BinaryTree& ct) {
+    return ca.Accepts(ct) != RefAccepts(ca, ct);
+  };
+  Pred1 v_det = [sig, op](const Nbta& ca, const BinaryTree& ct) {
+    Result<Dbta> d = DeterminizeNbta(ca, *sig, op->max_det_states);
+    return d.ok() && d->Accepts(ct) != RefAccepts(ca, ct);
+  };
+  Pred1 v_min = [sig, op](const Nbta& ca, const BinaryTree& ct) {
+    Result<Dbta> d = DeterminizeNbta(ca, *sig, op->max_det_states);
+    if (!d.ok()) return false;
+    Result<Dbta> m = MinimizeDbta(*d, *sig);
+    return m.ok() && m->Accepts(ct) != RefAccepts(ca, ct);
+  };
+  Pred1 v_comp = [sig, op](const Nbta& ca, const BinaryTree& ct) {
+    Result<Nbta> c = ComplementNbta(ca, *sig, op->max_det_states);
+    return c.ok() && c->Accepts(ct) == RefAccepts(ca, ct);
+  };
+  Pred1 v_compcomp = [sig, op](const Nbta& ca, const BinaryTree& ct) {
+    Result<Nbta> c = ComplementNbta(ca, *sig, op->max_det_states);
+    if (!c.ok()) return false;
+    Result<Nbta> cc = ComplementNbta(*c, *sig, op->max_det_states);
+    return cc.ok() && cc->Accepts(ct) != RefAccepts(ca, ct);
+  };
+  Pred1 v_self_union = [](const Nbta& ca, const BinaryTree& ct) {
+    return UnionNbta(ca, ca).Accepts(ct) != RefAccepts(ca, ct);
+  };
+  Pred1 v_zero_union = [](const Nbta& ca, const BinaryTree& ct) {
+    Nbta z;
+    z.num_symbols = ca.num_symbols;
+    bool ref = RefAccepts(ca, ct);
+    return UnionNbta(z, ca).Accepts(ct) != ref ||
+           UnionNbta(ca, z).Accepts(ct) != ref;
+  };
+  Pred1 v_zero_inter = [](const Nbta& ca, const BinaryTree& ct) {
+    Nbta z;
+    z.num_symbols = ca.num_symbols;
+    return IntersectNbta(ca, z).Accepts(ct);
+  };
+  Pred1 v_trim = [](const Nbta& ca, const BinaryTree& ct) {
+    bool ref = RefAccepts(ca, ct);
+    return TrimNbta(ca).Accepts(ct) != ref ||
+           RefTrim(ca).Accepts(ct) != ref;
+  };
+  Pred1 v_topdown = [](const Nbta& ca, const BinaryTree& ct) {
+    bool ref = RefAccepts(ca, ct);
+    TopDownTA ctd = NbtaToTopDown(ca);
+    return TopDownAccepts(ctd, ct) != ref ||
+           TopDownToNbta(ctd).Accepts(ct) != ref;
+  };
+  Pred2 v_intersect = [](const Nbta& ca, const Nbta& cb,
+                         const BinaryTree& ct) {
+    bool ref = RefAccepts(ca, ct) && RefAccepts(cb, ct);
+    return IntersectNbta(ca, cb).Accepts(ct) != ref ||
+           RefIntersect(ca, cb).Accepts(ct) != ref;
+  };
+  Pred2 v_union = [](const Nbta& ca, const Nbta& cb, const BinaryTree& ct) {
+    bool ref = RefAccepts(ca, ct) || RefAccepts(cb, ct);
+    return UnionNbta(ca, cb).Accepts(ct) != ref ||
+           RefUnion(ca, cb).Accepts(ct) != ref;
+  };
+  Pred2 v_demorgan = [sig, op](const Nbta& ca, const Nbta& cb,
+                               const BinaryTree& ct) {
+    bool ra = RefAccepts(ca, ct), rb = RefAccepts(cb, ct);
+    Result<Nbta> cu =
+        ComplementNbta(UnionNbta(ca, cb), *sig, op->max_det_states);
+    if (cu.ok() && cu->Accepts(ct) != (!ra && !rb)) return true;
+    Result<Nbta> ci =
+        ComplementNbta(IntersectNbta(ca, cb), *sig, op->max_det_states);
+    if (ci.ok() && ci->Accepts(ct) != !(ra && rb)) return true;
+    Result<Nbta> cca = ComplementNbta(ca, *sig, op->max_det_states);
+    Result<Nbta> ccb = ComplementNbta(cb, *sig, op->max_det_states);
+    if (cca.ok() && ccb.ok()) {
+      if (IntersectNbta(*cca, *ccb).Accepts(ct) != (!ra && !rb)) return true;
+      if (UnionNbta(*cca, *ccb).Accepts(ct) != !(ra && rb)) return true;
+    }
+    return false;
+  };
+
+  // --- Per-tree laws over the full tree set. ---
+  const size_t n_exh = exhaustive.size();
+  auto tree_at = [&](size_t k) -> const BinaryTree& {
+    return k < n_exh ? exhaustive[k] : samples[k - n_exh];
+  };
+  const size_t n_trees = n_exh + samples.size();
+
+  for (size_t k = 0; k < n_trees; ++k) {
+    const BinaryTree& t = tree_at(k);
+    const bool ra = RefAccepts(a, t);
+    const bool rb = RefAccepts(b, t);
+
+    auto check1 = [&](const char* law, bool holds, const char* expect,
+                      const Pred1& violated) {
+      if (LawDone(law)) return;
+      ++report_.comparisons;
+      if (!holds) FailTree1(law, iter, extended, a, t, expect, violated);
+    };
+    auto check2 = [&](const char* law, bool holds, const char* expect,
+                      const Pred2& violated) {
+      if (LawDone(law)) return;
+      ++report_.comparisons;
+      if (!holds) FailTree2(law, iter, extended, a, b, t, expect, violated);
+    };
+
+    check1("membership/index", NbtaAccepts(idx_a, t) == ra,
+           "NbtaAccepts(a, t) == direct bottom-up membership", v_membership);
+
+    if (!LawDone("membership/runstates")) {
+      ++report_.comparisons;
+      std::vector<std::vector<bool>> got = NbtaRunStates(idx_a, t);
+      std::vector<std::set<StateId>> want = RefRunStates(a, t);
+      bool same = got.size() == want.size();
+      for (NodeId n = 0; same && n < got.size(); ++n) {
+        for (StateId q = 0; same && q < a.num_states; ++q) {
+          same = (q < got[n].size() && got[n][q]) == (want[n].count(q) > 0);
+        }
+      }
+      if (!same) {
+        FailTree1("membership/runstates", iter, extended, a, t,
+                  "NbtaRunStates == RefRunStates per node",
+                  [](const Nbta& ca, const BinaryTree& ct) {
+                    std::vector<std::vector<bool>> g = ca.RunStates(ct);
+                    std::vector<std::set<StateId>> w = RefRunStates(ca, ct);
+                    for (NodeId n = 0; n < ct.size(); ++n) {
+                      for (StateId q = 0; q < ca.num_states; ++q) {
+                        if ((q < g[n].size() && g[n][q]) !=
+                            (w[n].count(q) > 0)) {
+                          return true;
+                        }
+                      }
+                    }
+                    return false;
+                  });
+      }
+    }
+
+    if (det_a) {
+      check1("determinize/lang", det_a->Accepts(t) == ra,
+             "DeterminizeNbta preserves the language", v_det);
+    }
+    if (det_a && refdet_a) {
+      check1("determinize/ref", det_a->Accepts(t) == refdet_a->Accepts(t),
+             "DeterminizeNbta agrees with the set-of-sets reference", v_det);
+    }
+    if (refdet_a) {
+      check1("determinize/ref-lang", refdet_a->Accepts(t) == ra,
+             "RefDeterminize preserves the language", Pred1());
+    }
+    if (min_a) {
+      check1("minimize/lang", min_a->Accepts(t) == ra,
+             "MinimizeDbta preserves the language", v_min);
+    }
+
+    check2("intersect/lang", NbtaAccepts(idx_inter, t) == (ra && rb),
+           "IntersectNbta accepts exactly L(a) ∩ L(b)", v_intersect);
+    check2("intersect/ref",
+           NbtaAccepts(idx_inter, t) == NbtaAccepts(idx_refinter, t),
+           "IntersectNbta agrees with the dense all-pairs reference",
+           v_intersect);
+    check2("union/lang", NbtaAccepts(idx_uni, t) == (ra || rb),
+           "UnionNbta accepts exactly L(a) ∪ L(b)", v_union);
+    check2("union/ref", NbtaAccepts(idx_uni, t) == NbtaAccepts(idx_refuni, t),
+           "UnionNbta agrees with the state-by-state reference sum", v_union);
+    check1("union/self", NbtaAccepts(idx_self, t) == ra,
+           "L(a ∪ a) == L(a)", v_self_union);
+    check1("union/empty",
+           NbtaAccepts(idx_uzl, t) == ra && NbtaAccepts(idx_uzr, t) == ra,
+           "union with the 0-state automaton is identity on the language",
+           v_zero_union);
+    check1("intersect/empty", !NbtaAccepts(idx_iz, t),
+           "intersection with the 0-state automaton is empty", v_zero_inter);
+    check1("trim/lang",
+           NbtaAccepts(idx_trim, t) == ra && NbtaAccepts(idx_reftrim, t) == ra,
+           "TrimNbta and RefTrim preserve the language", v_trim);
+    check1("topdown/roundtrip",
+           TopDownAccepts(td_idx, t) == ra && NbtaAccepts(idx_round, t) == ra,
+           "NbtaToTopDown/TopDownToNbta preserve the language", v_topdown);
+
+    // Complement-family laws: these automata are determinization-sized, so
+    // Nbta membership costs O(rules); restrict to the probe subset.
+    const bool probe = k >= n_exh || k % kProbeStride == 0;
+    if (probe) {
+      if (idx_comp_a) {
+        check1("complement/lang", NbtaAccepts(*idx_comp_a, t) == !ra,
+               "ComplementNbta accepts exactly the well-ranked non-members",
+               v_comp);
+      }
+      if (idx_comp_a && idx_refcomp_a) {
+        check1("complement/ref",
+               NbtaAccepts(*idx_comp_a, t) == NbtaAccepts(*idx_refcomp_a, t),
+               "ComplementNbta agrees with the brute-force reference", v_comp);
+      }
+      if (idx_refcomp_a) {
+        check1("complement/ref-lang", NbtaAccepts(*idx_refcomp_a, t) == !ra,
+               "RefComplement accepts exactly the well-ranked non-members",
+               Pred1());
+      }
+      if (idx_compcomp) {
+        check1("complement/involution", NbtaAccepts(*idx_compcomp, t) == ra,
+               "complementing twice is the identity on well-ranked trees",
+               v_compcomp);
+      }
+      if (idx_comp_uni) {
+        check2("demorgan/comp-union",
+               NbtaAccepts(*idx_comp_uni, t) == (!ra && !rb),
+               "¬(A ∪ B) == ¬A ∩ ¬B (membership form)", v_demorgan);
+      }
+      if (idx_comp_inter) {
+        check2("demorgan/comp-inter",
+               NbtaAccepts(*idx_comp_inter, t) == !(ra && rb),
+               "¬(A ∩ B) == ¬A ∪ ¬B (membership form)", v_demorgan);
+      }
+      if (idx_inter_comp) {
+        check2("demorgan/inter-comp",
+               NbtaAccepts(*idx_inter_comp, t) == (!ra && !rb),
+               "¬A ∩ ¬B accepts exactly the common non-members", v_demorgan);
+      }
+      if (idx_uni_comp) {
+        check2("demorgan/union-comp",
+               NbtaAccepts(*idx_uni_comp, t) == !(ra && rb),
+               "¬A ∪ ¬B accepts exactly the non-common members", v_demorgan);
+      }
+    }
+  }
+
+  // --- Automaton-level laws. ---
+  if (!LawDone("empty/agree")) {
+    ++report_.comparisons;
+    if (IsEmptyNbta(idx_a) != RefIsEmpty(a)) {
+      FailNbta("empty/agree", iter, extended, a,
+               "IsEmptyNbta agrees with the naive inhabitedness fixpoint",
+               [](const Nbta& ca) {
+                 return IsEmptyNbta(ca) != RefIsEmpty(ca);
+               });
+    }
+  }
+  if (!LawDone("witness/genuine")) {
+    ++report_.comparisons;
+    std::optional<BinaryTree> w = WitnessTree(idx_a);
+    bool bad = w.has_value() == RefIsEmpty(a) ||
+               (w.has_value() && !RefAccepts(a, *w));
+    if (bad) {
+      FailNbta("witness/genuine", iter, extended, a,
+               "WitnessTree returns a tree iff nonempty, and a member",
+               [](const Nbta& ca) {
+                 std::optional<BinaryTree> cw = WitnessTree(ca);
+                 return cw.has_value() == RefIsEmpty(ca) ||
+                        (cw.has_value() && !RefAccepts(ca, *cw));
+               });
+    }
+  }
+
+  CheckCounts(iter, extended, a, det_a, exhaustive, truncated);
+  CheckEnumerate(iter, extended, a, exhaustive, truncated);
+  CheckEncodeDecode(iter, rng);
+  if (!extended) CheckRelabelInverse(iter, a);
+  if (extended) CheckRelabelImage(iter, a);
+  if (opts_.typecheck_every != 0 && iter % opts_.typecheck_every == 0) {
+    CheckTypechecker(iter, rng);
+  }
+  if (opts_.infer_every != 0 && iter % opts_.infer_every == 0) {
+    CheckInferInverse(iter, rng);
+  }
+}
+
+void Harness::CheckCounts(size_t iter, bool extended, const Nbta& a,
+                          const std::optional<Dbta>& det_a,
+                          const std::vector<BinaryTree>& exhaustive,
+                          bool truncated) {
+  if (!LawDone("count/runs")) {
+    for (size_t s = 1; s <= 9; s += 2) {
+      ++report_.comparisons;
+      if (CountAcceptedTrees(a, s) != RefCountAcceptedTrees(a, s)) {
+        FailNbta("count/runs", iter, extended, a,
+                 "CountAcceptedTrees(run count) == top-down reference, "
+                 "sizes 1..9",
+                 [](const Nbta& ca) {
+                   for (size_t cs = 1; cs <= 9; cs += 2) {
+                     if (CountAcceptedTrees(ca, cs) !=
+                         RefCountAcceptedTrees(ca, cs)) {
+                       return true;
+                     }
+                   }
+                   return false;
+                 });
+        break;
+      }
+    }
+  }
+  // Tree counts need a deterministic automaton (runs == trees) and an
+  // exhaustive ground truth.
+  if (LawDone("count/trees") || !det_a || truncated) return;
+  if (det_a->num_states() > 64) return;  // ToNbta table would be huge.
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+  const Nbta dta = det_a->ToNbta(sigma);
+  for (size_t s = 1; s <= opts_.exhaustive_max_nodes; s += 2) {
+    ++report_.comparisons;
+    uint64_t want = 0;
+    for (const BinaryTree& t : exhaustive) {
+      if (t.size() == s && RefAccepts(a, t)) ++want;
+    }
+    if (CountAcceptedTrees(dta, s) != want) {
+      std::ostringstream detail;
+      detail << "CountAcceptedTrees on the determinized automaton == "
+             << "exhaustive accepted-tree count at size " << s << " (want "
+             << want << ", got " << CountAcceptedTrees(dta, s) << ")";
+      FailNbta("count/trees", iter, extended, a, detail.str(), PredA());
+      break;
+    }
+  }
+}
+
+void Harness::CheckEnumerate(size_t iter, bool extended, const Nbta& a,
+                             const std::vector<BinaryTree>& exhaustive,
+                             bool truncated) {
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+  const std::vector<BinaryTree> e1 =
+      EnumerateAcceptedTrees(a, opts_.exhaustive_max_nodes, 100000);
+
+  if (!LawDone("enumerate/order")) {
+    ++report_.comparisons;
+    bool sorted = true;
+    for (size_t k = 0; k + 1 < e1.size(); ++k) {
+      if (e1[k].size() > e1[k + 1].size()) sorted = false;
+    }
+    std::set<std::string> keys;
+    for (const BinaryTree& t : e1) keys.insert(CanonicalKey(t, sigma));
+    if (!sorted || keys.size() != e1.size()) {
+      FailNbta("enumerate/order", iter, extended, a,
+               "EnumerateAcceptedTrees emits distinct trees in "
+               "non-decreasing size order",
+               PredA());
+    }
+  }
+  if (!LawDone("enumerate/deterministic")) {
+    ++report_.comparisons;
+    const std::vector<BinaryTree> e2 =
+        EnumerateAcceptedTrees(a, opts_.exhaustive_max_nodes, 100000);
+    bool same = e1.size() == e2.size();
+    for (size_t k = 0; same && k < e1.size(); ++k) same = e1[k] == e2[k];
+    if (!same) {
+      FailNbta("enumerate/deterministic", iter, extended, a,
+               "EnumerateAcceptedTrees is deterministic across runs",
+               PredA());
+    }
+  }
+  if (!LawDone("enumerate/cap") && e1.size() >= 2) {
+    ++report_.comparisons;
+    const std::vector<BinaryTree> ecap =
+        EnumerateAcceptedTrees(a, opts_.exhaustive_max_nodes, e1.size() - 1);
+    bool same = ecap.size() == e1.size() - 1;
+    for (size_t k = 0; same && k < ecap.size(); ++k) same = ecap[k] == e1[k];
+    if (!same) {
+      FailNbta("enumerate/cap", iter, extended, a,
+               "max_count truncates to a prefix of the uncapped enumeration",
+               PredA());
+    }
+  }
+  if (!LawDone("enumerate/exact") && !truncated) {
+    ++report_.comparisons;
+    std::set<std::string> got, want;
+    for (const BinaryTree& t : e1) got.insert(CanonicalKey(t, sigma));
+    for (const BinaryTree& t : exhaustive) {
+      if (RefAccepts(a, t)) want.insert(CanonicalKey(t, sigma));
+    }
+    if (got != want) {
+      FailNbta("enumerate/exact", iter, extended, a,
+               "EnumerateAcceptedTrees == {small trees accepted by the "
+               "reference membership}",
+               [this, &sigma](const Nbta& ca) {
+                 std::set<std::string> g, w;
+                 for (const BinaryTree& t : EnumerateAcceptedTrees(
+                          ca, opts_.exhaustive_max_nodes, 100000)) {
+                   g.insert(CanonicalKey(t, sigma));
+                 }
+                 const std::vector<BinaryTree>& ex =
+                     &sigma == &ext_ ? exhaustive_ext_ : exhaustive_base_;
+                 for (const BinaryTree& t : ex) {
+                   if (RefAccepts(ca, t)) w.insert(CanonicalKey(t, sigma));
+                 }
+                 return g != w;
+               });
+    }
+  }
+}
+
+void Harness::CheckEncodeDecode(size_t iter, Rng& rng) {
+  if (LawDone("encode/decode")) return;
+  ++report_.comparisons;
+  RandomUnrankedOptions uo;
+  uo.target_size = 1 + rng.NextBelow(20);
+  uo.max_children = 4;
+  const UnrankedTree u = RandomUnrankedTree(tags_, rng, uo);
+  Result<BinaryTree> encoded = EncodeTree(u, enc_);
+  if (!encoded.ok()) {
+    Fail("encode/decode", iter, "EncodeTree failed: " +
+                                    encoded.status().ToString(),
+         "// unranked input: " + UnrankedTermString(u, tags_) + "\n");
+    return;
+  }
+  Result<UnrankedTree> decoded = DecodeTree(*encoded, enc_);
+  if (!decoded.ok() || !(*decoded == u)) {
+    std::string detail = decoded.ok()
+                             ? "Decode(Encode(t)) != t"
+                             : "DecodeTree failed on an encoder output: " +
+                                   decoded.status().ToString();
+    Fail("encode/decode", iter, detail,
+         "// unranked input: " + UnrankedTermString(u, tags_) +
+             "\n// encoded:      " +
+             BinaryTermString(*encoded, enc_.ranked) + "\n");
+  }
+}
+
+void Harness::CheckRelabelInverse(size_t iter, const Nbta& a) {
+  if (LawDone("relabel/inverse")) return;
+  const Nbta inv =
+      InverseRelabelNbta(a, kExtToBase, static_cast<uint32_t>(ext_.size()));
+  NbtaIndex idx_inv(inv);
+  for (const BinaryTree& t6 : exhaustive_ext_) {
+    ++report_.comparisons;
+    if (NbtaAccepts(idx_inv, t6) != RefAccepts(a, RelabelTree(t6,
+                                                              kExtToBase))) {
+      Nbta sa = a;
+      BinaryTree st = t6;
+      Pred1 violated = [this](const Nbta& ca, const BinaryTree& ct) {
+        return InverseRelabelNbta(ca, kExtToBase,
+                                  static_cast<uint32_t>(ext_.size()))
+                   .Accepts(ct) != RefAccepts(ca, RelabelTree(ct, kExtToBase));
+      };
+      if (opts_.shrink && violated(sa, st)) {
+        ShrinkNbtaAndTree(&sa, &st, violated);
+      }
+      // The witness tree lives over the extended alphabet while the automaton
+      // lives over the base one; render both accordingly.
+      std::ostringstream os;
+      os << "// law \"relabel/inverse\" violated at iteration " << iter
+         << " (seed " << opts_.seed << ").\n"
+         << "// replay: ta_diffcheck --seed=" << opts_.seed
+         << " --start=" << iter << " --iters=1\n"
+         << "RankedAlphabet sigma = DiffcheckAlphabet(false);\n"
+         << "RankedAlphabet ext = DiffcheckAlphabet(true);\n"
+         << FormatNbtaConstruction(sa, base_, "a")
+         << "BinaryTree t = std::move(ParseBinaryTerm(\""
+         << BinaryTermString(st, ext_) << "\", ext)).ValueOrDie();\n"
+         << "// expect: InverseRelabelNbta(a).Accepts(t) == "
+            "a accepts relabel(t)\n";
+      Fail("relabel/inverse", iter,
+           "InverseRelabelNbta accepts t iff a accepts relabel(t)", os.str());
+      return;
+    }
+  }
+}
+
+void Harness::CheckRelabelImage(size_t iter, const Nbta& a) {
+  if (LawDone("relabel/image")) return;
+  const Nbta img =
+      RelabelNbta(a, kExtToBase, static_cast<uint32_t>(base_.size()));
+  NbtaIndex idx_img(img);
+  for (const BinaryTree& u : exhaustive_base_) {
+    ++report_.comparisons;
+    if (NbtaAccepts(idx_img, u) !=
+        HasAcceptedPreimage(a, u, kExtToBase, ext_)) {
+      Nbta sa = a;
+      BinaryTree st = u;
+      Pred1 violated = [this](const Nbta& ca, const BinaryTree& ct) {
+        return RelabelNbta(ca, kExtToBase, static_cast<uint32_t>(base_.size()))
+                   .Accepts(ct) !=
+               HasAcceptedPreimage(ca, ct, kExtToBase, ext_);
+      };
+      if (opts_.shrink && violated(sa, st)) {
+        ShrinkNbtaAndTree(&sa, &st, violated);
+      }
+      std::ostringstream os;
+      os << "// law \"relabel/image\" violated at iteration " << iter
+         << " (seed " << opts_.seed << ").\n"
+         << "// replay: ta_diffcheck --seed=" << opts_.seed
+         << " --start=" << iter << " --iters=1\n"
+         << "RankedAlphabet sigma = DiffcheckAlphabet(false);\n"
+         << "RankedAlphabet ext = DiffcheckAlphabet(true);\n"
+         << FormatNbtaConstruction(sa, ext_, "a")
+         << "BinaryTree t = std::move(ParseBinaryTerm(\""
+         << BinaryTermString(st, base_) << "\", sigma)).ValueOrDie();\n"
+         << "// expect: RelabelNbta(a).Accepts(t) == some preimage of t is "
+            "accepted by a\n";
+      Fail("relabel/image", iter,
+           "RelabelNbta accepts t iff some preimage of t is accepted",
+           os.str());
+      return;
+    }
+  }
+}
+
+void Harness::CheckTypechecker(size_t iter, Rng& rng) {
+  if (LawDone("typecheck/verdict") && LawDone("typecheck/witness")) return;
+  // Small types keep the reference decision (a full naive
+  // complement-and-intersect emptiness check) cheap.
+  RandomNbtaOptions o;
+  o.num_states = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+  o.rule_density = 0.2 + 0.5 * rng.NextDouble();
+  o.leaf_density = 0.4 + 0.4 * rng.NextDouble();
+  o.accepting_density = 0.3 + 0.4 * rng.NextDouble();
+  const Nbta tau1 = RandomNbta(base_, rng, o);
+  const Nbta tau2 = RandomNbta(base_, rng, o);
+
+  const PebbleTransducer copy = MakeCopyTransducer(base_);
+  const Typechecker tc(copy, base_, base_);
+  Result<TypecheckResult> res = tc.Typecheck(tau1, tau2, TcOptions());
+  if (!res.ok()) {
+    Fail("typecheck/verdict", iter,
+         "Typecheck failed outright: " + res.status().ToString(),
+         Repro("typecheck/verdict", iter, false, &tau1, &tau2, nullptr,
+               "Typecheck returns a verdict"));
+    return;
+  }
+
+  // For the copy transducer, T(τ1) ⊆ τ2 ⟺ τ1 ⊆ τ2; decide with reference
+  // ops only.
+  Result<Nbta> refcomp2 = RefComplement(tau2, base_);
+  PEBBLETC_CHECK(refcomp2.ok()) << "RefComplement on a <=4-state automaton";
+  const bool ref_included = RefIsEmpty(RefIntersect(tau1, *refcomp2));
+
+  Pred2 violated = [this](const Nbta& c1, const Nbta& c2, const BinaryTree&) {
+    const PebbleTransducer ccopy = MakeCopyTransducer(base_);
+    const Typechecker ctc(ccopy, base_, base_);
+    Result<TypecheckResult> r = ctc.Typecheck(c1, c2, TcOptions());
+    if (!r.ok()) return false;
+    Result<Nbta> rc2 = RefComplement(c2, base_);
+    if (!rc2.ok()) return false;
+    const bool inc = RefIsEmpty(RefIntersect(c1, *rc2));
+    if (r->verdict == TypecheckVerdict::kTypechecks) return !inc;
+    if (r->verdict == TypecheckVerdict::kCounterexample) return inc;
+    // kUnknown is a failure only when nothing was cut short (see below).
+    return !r->exhausted.exhausted;
+  };
+  auto fail_verdict = [&](const char* law, const std::string& detail) {
+    Nbta s1 = tau1, s2 = tau2;
+    BinaryTree dummy;
+    dummy.SetRoot(dummy.AddLeaf(0));
+    if (opts_.shrink && violated(s1, s2, dummy)) {
+      ShrinkTwoNbtaAndTree(&s1, &s2, &dummy, violated);
+    }
+    Fail(law, iter, detail,
+         Repro(law, iter, false, &s1, &s2, nullptr, detail));
+  };
+
+  ++report_.comparisons;
+  switch (res->verdict) {
+    case TypecheckVerdict::kTypechecks:
+      if (!ref_included) {
+        fail_verdict("typecheck/verdict",
+                     "verdict kTypechecks but the reference decision finds "
+                     "a counterexample (copy transducer: τ1 ⊄ τ2)");
+      }
+      break;
+    case TypecheckVerdict::kCounterexample: {
+      if (ref_included) {
+        fail_verdict("typecheck/verdict",
+                     "verdict kCounterexample but the reference decision "
+                     "proves τ1 ⊆ τ2 (copy transducer)");
+        break;
+      }
+      if (LawDone("typecheck/witness")) break;
+      ++report_.comparisons;
+      bool witness_ok = res->counterexample_input.has_value() &&
+                        RefAccepts(tau1, *res->counterexample_input) &&
+                        !RefAccepts(tau2, *res->counterexample_input);
+      if (witness_ok && res->counterexample_output.has_value()) {
+        // The copy transducer's only output on t is t itself.
+        witness_ok = *res->counterexample_output == *res->counterexample_input;
+      }
+      if (!witness_ok) {
+        Fail("typecheck/witness", iter,
+             "counterexample input must lie in τ1 \\ τ2 (and the copy "
+             "transducer's output must equal its input)",
+             Repro("typecheck/witness", iter, false, &tau1, &tau2,
+                   res->counterexample_input.has_value()
+                       ? &*res->counterexample_input
+                       : nullptr,
+                   "counterexample_input ∈ L(τ1) \\ L(τ2)"));
+      }
+      break;
+    }
+    case TypecheckVerdict::kUnknown:
+      // A deadline/budget cut is a tallied skip; kUnknown with nothing cut
+      // short means the ladder gave up on a decidable tiny instance.
+      if (res->exhausted.exhausted) {
+        ++report_.budget_skips;
+        break;
+      }
+      fail_verdict("typecheck/verdict",
+                   "verdict kUnknown on a tiny copy-transducer instance");
+      break;
+  }
+}
+
+void Harness::CheckInferInverse(size_t iter, Rng& rng) {
+  if (LawDone("infer/copy")) return;
+  RandomNbtaOptions o;
+  o.num_states = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+  o.rule_density = 0.2 + 0.5 * rng.NextDouble();
+  o.leaf_density = 0.4 + 0.4 * rng.NextDouble();
+  o.accepting_density = 0.3 + 0.4 * rng.NextDouble();
+  const Nbta tau2 = RandomNbta(base_, rng, o);
+
+  const PebbleTransducer copy = MakeCopyTransducer(base_);
+  const Typechecker tc(copy, base_, base_);
+  Result<Nbta> inferred = tc.InferInverseType(tau2, TcOptions());
+  if (!inferred.ok()) {
+    if (inferred.status().code() == StatusCode::kResourceExhausted ||
+        inferred.status().code() == StatusCode::kDeadlineExceeded) {
+      ++report_.budget_skips;
+      return;
+    }
+    Fail("infer/copy", iter,
+         "InferInverseType failed: " + inferred.status().ToString(),
+         Repro("infer/copy", iter, false, &tau2, nullptr, nullptr,
+               "InferInverseType succeeds"));
+    return;
+  }
+  // For the copy transducer, τ2⁻¹ = {t | {t} ⊆ τ2} = L(τ2).
+  NbtaIndex idx_inf(*inferred);
+  for (const BinaryTree& t : exhaustive_base_) {
+    ++report_.comparisons;
+    if (NbtaAccepts(idx_inf, t) != RefAccepts(tau2, t)) {
+      Fail("infer/copy", iter,
+           "InferInverseType for the copy transducer must equal L(τ2)",
+           Repro("infer/copy", iter, false, &tau2, nullptr, &t,
+                 "inferred inverse type accepts t iff τ2 does"));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+RankedAlphabet DiffcheckAlphabet(bool extended) {
+  RankedAlphabet sigma;
+  PEBBLETC_CHECK(sigma.AddLeaf("a0").ok());
+  PEBBLETC_CHECK(sigma.AddLeaf("b0").ok());
+  PEBBLETC_CHECK(sigma.AddBinary("a2").ok());
+  PEBBLETC_CHECK(sigma.AddBinary("b2").ok());
+  if (extended) {
+    PEBBLETC_CHECK(sigma.AddLeaf("u0").ok());
+    PEBBLETC_CHECK(sigma.AddBinary("u2").ok());
+  }
+  return sigma;
+}
+
+std::string FormatNbtaConstruction(const Nbta& a, const RankedAlphabet& sigma,
+                                   const std::string& var) {
+  std::ostringstream os;
+  os << "Nbta " << var << ";\n";
+  os << var << ".num_symbols = " << a.num_symbols << ";\n";
+  if (a.num_states > 0) {
+    os << "for (int i = 0; i < " << a.num_states << "; ++i) " << var
+       << ".AddState();\n";
+  }
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q]) os << var << ".accepting[" << q << "] = true;\n";
+  }
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    os << var << ".AddLeafRule(" << r.symbol << ", " << r.to << ");  // "
+       << (r.symbol < sigma.size() ? sigma.Name(r.symbol) : "?") << "\n";
+  }
+  for (const Nbta::BinaryRule& r : a.rules) {
+    os << var << ".AddRule(" << r.symbol << ", " << r.left << ", " << r.right
+       << ", " << r.to << ");  // "
+       << (r.symbol < sigma.size() ? sigma.Name(r.symbol) : "?") << "\n";
+  }
+  return os.str();
+}
+
+DiffcheckReport RunDiffcheck(const DiffcheckOptions& options) {
+  Harness harness(options);
+  return harness.Run();
+}
+
+}  // namespace pebbletc

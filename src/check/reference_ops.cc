@@ -1,0 +1,368 @@
+#include "src/check/reference_ops.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+namespace {
+
+constexpr uint64_t kSat = std::numeric_limits<uint64_t>::max();
+
+uint64_t SatAdd(uint64_t x, uint64_t y) { return x > kSat - y ? kSat : x + y; }
+
+uint64_t SatMul(uint64_t x, uint64_t y) {
+  if (x == 0 || y == 0) return 0;
+  return x > kSat / y ? kSat : x * y;
+}
+
+}  // namespace
+
+std::vector<std::set<StateId>> RefRunStates(const Nbta& a,
+                                            const BinaryTree& tree) {
+  // NodeIds are created children-first, so ascending order is bottom-up.
+  std::vector<std::set<StateId>> states(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    if (tree.IsLeaf(n)) {
+      for (const Nbta::LeafRule& r : a.leaf_rules) {
+        if (r.symbol == tree.symbol(n)) states[n].insert(r.to);
+      }
+    } else {
+      const std::set<StateId>& ls = states[tree.left(n)];
+      const std::set<StateId>& rs = states[tree.right(n)];
+      for (const Nbta::BinaryRule& r : a.rules) {
+        if (r.symbol == tree.symbol(n) && ls.count(r.left) &&
+            rs.count(r.right)) {
+          states[n].insert(r.to);
+        }
+      }
+    }
+  }
+  return states;
+}
+
+bool RefAccepts(const Nbta& a, const BinaryTree& tree) {
+  if (tree.empty()) return false;
+  std::vector<std::set<StateId>> states = RefRunStates(a, tree);
+  for (StateId q : states[tree.root()]) {
+    if (a.accepting[q]) return true;
+  }
+  return false;
+}
+
+Result<Dbta> RefDeterminize(const Nbta& a, const RankedAlphabet& alphabet) {
+  if (alphabet.size() != a.num_symbols) {
+    return Status::InvalidArgument("alphabet size mismatch in RefDeterminize");
+  }
+  if (a.num_states > kRefMaxDeterminizeStates) {
+    return Status::ResourceExhausted(
+        "RefDeterminize materializes all 2^" + std::to_string(a.num_states) +
+        " subsets; refusing");
+  }
+  const uint32_t n = a.num_states;
+  const uint32_t subsets = 1u << n;
+  Dbta out(subsets, a.num_symbols);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    uint32_t mask = 0;
+    for (const Nbta::LeafRule& r : a.leaf_rules) {
+      if (r.symbol == s) mask |= 1u << r.to;
+    }
+    out.SetLeafState(s, mask);
+  }
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    for (uint32_t m1 = 0; m1 < subsets; ++m1) {
+      for (uint32_t m2 = 0; m2 < subsets; ++m2) {
+        uint32_t to = 0;
+        for (const Nbta::BinaryRule& r : a.rules) {
+          if (r.symbol == s && ((m1 >> r.left) & 1u) && ((m2 >> r.right) & 1u)) {
+            to |= 1u << r.to;
+          }
+        }
+        out.SetNext(s, m1, m2, to);
+      }
+    }
+  }
+  for (uint32_t m = 0; m < subsets; ++m) {
+    bool acc = false;
+    for (StateId q = 0; q < n; ++q) {
+      if (((m >> q) & 1u) && a.accepting[q]) acc = true;
+    }
+    out.set_accepting(m, acc);
+  }
+  return out;
+}
+
+Result<Nbta> RefComplement(const Nbta& a, const RankedAlphabet& alphabet) {
+  PEBBLETC_ASSIGN_OR_RETURN(Dbta det, RefDeterminize(a, alphabet));
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (uint32_t q = 0; q < det.num_states(); ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = !det.accepting(q);
+  }
+  for (SymbolId s : alphabet.LeafSymbols()) {
+    out.AddLeafRule(s, det.LeafState(s));
+  }
+  for (SymbolId s : alphabet.BinarySymbols()) {
+    for (uint32_t m1 = 0; m1 < det.num_states(); ++m1) {
+      for (uint32_t m2 = 0; m2 < det.num_states(); ++m2) {
+        out.AddRule(s, m1, m2, det.Next(s, m1, m2));
+      }
+    }
+  }
+  return out;
+}
+
+Nbta RefIntersect(const Nbta& a, const Nbta& b) {
+  PEBBLETC_CHECK(a.num_symbols == b.num_symbols)
+      << "RefIntersect over mismatched alphabets";
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  auto pair_id = [&](StateId i, StateId j) -> StateId {
+    return i * b.num_states + j;
+  };
+  for (StateId i = 0; i < a.num_states; ++i) {
+    for (StateId j = 0; j < b.num_states; ++j) {
+      StateId id = out.AddState();
+      out.accepting[id] = a.accepting[i] && b.accepting[j];
+    }
+  }
+  for (const Nbta::LeafRule& ra : a.leaf_rules) {
+    for (const Nbta::LeafRule& rb : b.leaf_rules) {
+      if (ra.symbol == rb.symbol) {
+        out.AddLeafRule(ra.symbol, pair_id(ra.to, rb.to));
+      }
+    }
+  }
+  for (const Nbta::BinaryRule& ra : a.rules) {
+    for (const Nbta::BinaryRule& rb : b.rules) {
+      if (ra.symbol == rb.symbol) {
+        out.AddRule(ra.symbol, pair_id(ra.left, rb.left),
+                    pair_id(ra.right, rb.right), pair_id(ra.to, rb.to));
+      }
+    }
+  }
+  return out;
+}
+
+Nbta RefUnion(const Nbta& a, const Nbta& b) {
+  PEBBLETC_CHECK(a.num_symbols == b.num_symbols)
+      << "RefUnion over mismatched alphabets";
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = a.accepting[q];
+  }
+  for (StateId q = 0; q < b.num_states; ++q) {
+    StateId id = out.AddState();
+    out.accepting[id] = b.accepting[q];
+  }
+  for (const Nbta::LeafRule& r : a.leaf_rules) out.AddLeafRule(r.symbol, r.to);
+  for (const Nbta::BinaryRule& r : a.rules) {
+    out.AddRule(r.symbol, r.left, r.right, r.to);
+  }
+  for (const Nbta::LeafRule& r : b.leaf_rules) {
+    out.AddLeafRule(r.symbol, r.to + a.num_states);
+  }
+  for (const Nbta::BinaryRule& r : b.rules) {
+    out.AddRule(r.symbol, r.left + a.num_states, r.right + a.num_states,
+                r.to + a.num_states);
+  }
+  return out;
+}
+
+namespace {
+
+// Inhabited states by whole-rule-list rescans until stable.
+std::vector<bool> RefInhabited(const Nbta& a) {
+  std::vector<bool> inhabited(a.num_states, false);
+  for (const Nbta::LeafRule& r : a.leaf_rules) inhabited[r.to] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nbta::BinaryRule& r : a.rules) {
+      if (inhabited[r.left] && inhabited[r.right] && !inhabited[r.to]) {
+        inhabited[r.to] = true;
+        changed = true;
+      }
+    }
+  }
+  return inhabited;
+}
+
+}  // namespace
+
+bool RefIsEmpty(const Nbta& a) {
+  std::vector<bool> inhabited = RefInhabited(a);
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (inhabited[q] && a.accepting[q]) return false;
+  }
+  return true;
+}
+
+Nbta RefTrim(const Nbta& a) {
+  std::vector<bool> inhabited = RefInhabited(a);
+  // Useful states: can head a context leading to acceptance. Fixpoint over
+  // the rules, restricted to inhabited children (a rule whose other child is
+  // uninhabited can never fire).
+  std::vector<bool> useful(a.num_states, false);
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q] && inhabited[q]) useful[q] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nbta::BinaryRule& r : a.rules) {
+      if (useful[r.to] && inhabited[r.left] && inhabited[r.right]) {
+        if (!useful[r.left]) {
+          useful[r.left] = true;
+          changed = true;
+        }
+        if (!useful[r.right]) {
+          useful[r.right] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<StateId> remap(a.num_states, kNoSymbol);
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (inhabited[q] && useful[q]) {
+      remap[q] = out.AddState();
+      out.accepting[remap[q]] = a.accepting[q];
+    }
+  }
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    if (remap[r.to] != kNoSymbol) out.AddLeafRule(r.symbol, remap[r.to]);
+  }
+  for (const Nbta::BinaryRule& r : a.rules) {
+    if (remap[r.to] != kNoSymbol && remap[r.left] != kNoSymbol &&
+        remap[r.right] != kNoSymbol) {
+      out.AddRule(r.symbol, remap[r.left], remap[r.right], remap[r.to]);
+    }
+  }
+  if (out.num_states == 0) out.AddState();
+  return out;
+}
+
+namespace {
+
+// runs(q, s) = accepting runs of s-node trees evaluating to q, memoized.
+uint64_t RefCountRuns(const Nbta& a, StateId q, size_t s,
+                      std::map<std::pair<StateId, size_t>, uint64_t>* memo) {
+  if (s == 0 || s % 2 == 0) return 0;
+  auto key = std::make_pair(q, s);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  uint64_t total = 0;
+  if (s == 1) {
+    for (const Nbta::LeafRule& r : a.leaf_rules) {
+      if (r.to == q) total = SatAdd(total, 1);
+    }
+  } else {
+    for (const Nbta::BinaryRule& r : a.rules) {
+      if (r.to != q) continue;
+      for (size_t s1 = 1; s1 <= s - 2; s1 += 2) {
+        const size_t s2 = s - 1 - s1;
+        total = SatAdd(total, SatMul(RefCountRuns(a, r.left, s1, memo),
+                                     RefCountRuns(a, r.right, s2, memo)));
+      }
+    }
+  }
+  (*memo)[key] = total;
+  return total;
+}
+
+}  // namespace
+
+uint64_t RefCountAcceptedTrees(const Nbta& a, size_t num_nodes) {
+  if (num_nodes == 0 || num_nodes % 2 == 0) return 0;
+  std::map<std::pair<StateId, size_t>, uint64_t> memo;
+  uint64_t total = 0;
+  for (StateId q = 0; q < a.num_states; ++q) {
+    if (a.accepting[q]) {
+      total = SatAdd(total, RefCountRuns(a, q, num_nodes, &memo));
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// trees[s] = all trees with s nodes, built smallest sizes first.
+void BuildTreesBySize(const RankedAlphabet& alphabet, size_t max_nodes,
+                      size_t max_count,
+                      std::vector<std::vector<BinaryTree>>* trees,
+                      bool* truncated) {
+  trees->assign(max_nodes + 1, {});
+  size_t total = 0;
+  bool clipped = false;
+  auto push = [&](size_t s, BinaryTree t) {
+    if (total >= max_count) {
+      clipped = true;
+      return false;
+    }
+    (*trees)[s].push_back(std::move(t));
+    ++total;
+    return true;
+  };
+  if (max_nodes >= 1) {
+    for (SymbolId a : alphabet.LeafSymbols()) {
+      BinaryTree t;
+      t.SetRoot(t.AddLeaf(a));
+      if (!push(1, std::move(t))) break;
+    }
+  }
+  for (size_t s = 3; s <= max_nodes && !clipped; s += 2) {
+    for (SymbolId a : alphabet.BinarySymbols()) {
+      for (size_t s1 = 1; s1 <= s - 2 && !clipped; s1 += 2) {
+        const size_t s2 = s - 1 - s1;
+        for (const BinaryTree& lt : (*trees)[s1]) {
+          for (const BinaryTree& rt : (*trees)[s2]) {
+            BinaryTree t;
+            NodeId l = t.CopySubtree(lt, lt.root());
+            NodeId r = t.CopySubtree(rt, rt.root());
+            t.SetRoot(t.AddInternal(a, l, r));
+            if (!push(s, std::move(t))) break;
+          }
+          if (clipped) break;
+        }
+      }
+      if (clipped) break;
+    }
+  }
+  if (truncated != nullptr) *truncated = clipped;
+}
+
+}  // namespace
+
+std::vector<BinaryTree> AllTreesWithNodes(const RankedAlphabet& alphabet,
+                                          size_t num_nodes, size_t max_count,
+                                          bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  if (num_nodes == 0 || num_nodes % 2 == 0) return {};
+  std::vector<std::vector<BinaryTree>> trees;
+  BuildTreesBySize(alphabet, num_nodes, max_count, &trees, truncated);
+  return std::move(trees[num_nodes]);
+}
+
+std::vector<BinaryTree> AllTreesUpToNodes(const RankedAlphabet& alphabet,
+                                          size_t max_nodes, size_t max_count,
+                                          bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::vector<std::vector<BinaryTree>> trees;
+  BuildTreesBySize(alphabet, max_nodes, max_count, &trees, truncated);
+  std::vector<BinaryTree> out;
+  for (size_t s = 1; s <= max_nodes; s += 2) {
+    for (BinaryTree& t : trees[s]) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace pebbletc

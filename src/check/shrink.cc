@@ -1,0 +1,142 @@
+#include "src/check/shrink.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+namespace {
+
+// Copies `src` into `*out`, but when the walk reaches `at` it copies the
+// subtree rooted at `with` instead. Returns the id of the copied root.
+NodeId CopyReplacing(const BinaryTree& src, NodeId n, NodeId at, NodeId with,
+                     BinaryTree* out) {
+  if (n == at) return out->CopySubtree(src, with);
+  if (src.IsLeaf(n)) return out->AddLeaf(src.symbol(n));
+  NodeId l = CopyReplacing(src, src.left(n), at, with, out);
+  NodeId r = CopyReplacing(src, src.right(n), at, with, out);
+  return out->AddInternal(src.symbol(n), l, r);
+}
+
+}  // namespace
+
+BinaryTree HoistSubtree(const BinaryTree& tree, NodeId node,
+                        NodeId replacement) {
+  BinaryTree out;
+  out.SetRoot(CopyReplacing(tree, tree.root(), node, replacement, &out));
+  return out;
+}
+
+BinaryTree ShrinkTree(BinaryTree tree,
+                      const TreeFailurePredicate& still_fails) {
+  PEBBLETC_CHECK(!tree.empty()) << "shrinking an empty tree";
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeId n = 0; n < tree.size(); ++n) {
+      if (tree.IsLeaf(n)) continue;
+      for (NodeId child : {tree.left(n), tree.right(n)}) {
+        BinaryTree candidate = HoistSubtree(tree, n, child);
+        if (still_fails(candidate)) {
+          tree = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+      // Node ids changed if we shrank; restart the scan.
+      if (progress) break;
+    }
+  }
+  return tree;
+}
+
+Nbta RemoveState(const Nbta& a, StateId q) {
+  PEBBLETC_CHECK(q < a.num_states) << "RemoveState out of range";
+  Nbta out;
+  out.num_symbols = a.num_symbols;
+  for (StateId s = 0; s < a.num_states; ++s) {
+    if (s == q) continue;
+    StateId id = out.AddState();
+    out.accepting[id] = a.accepting[s];
+  }
+  auto remap = [q](StateId s) { return s > q ? s - 1 : s; };
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    if (r.to != q) out.AddLeafRule(r.symbol, remap(r.to));
+  }
+  for (const Nbta::BinaryRule& r : a.rules) {
+    if (r.to != q && r.left != q && r.right != q) {
+      out.AddRule(r.symbol, remap(r.left), remap(r.right), remap(r.to));
+    }
+  }
+  return out;
+}
+
+Nbta ShrinkNbta(Nbta a, const NbtaFailurePredicate& still_fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Whole states first: the biggest single step.
+    for (StateId q = 0; q < a.num_states; ++q) {
+      Nbta candidate = RemoveState(a, q);
+      if (still_fails(candidate)) {
+        a = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (size_t i = 0; i < a.rules.size(); ++i) {
+      Nbta candidate = a;
+      candidate.rules.erase(candidate.rules.begin() + i);
+      if (still_fails(candidate)) {
+        a = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (size_t i = 0; i < a.leaf_rules.size(); ++i) {
+      Nbta candidate = a;
+      candidate.leaf_rules.erase(candidate.leaf_rules.begin() + i);
+      if (still_fails(candidate)) {
+        a = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (StateId q = 0; q < a.num_states; ++q) {
+      if (!a.accepting[q]) continue;
+      Nbta candidate = a;
+      candidate.accepting[q] = false;
+      if (still_fails(candidate)) {
+        a = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return a;
+}
+
+void ShrinkNbtaAndTree(
+    Nbta* a, BinaryTree* tree,
+    const std::function<bool(const Nbta&, const BinaryTree&)>& still_fails) {
+  bool progress = true;
+  while (progress) {
+    const size_t states_before = a->num_states;
+    const size_t rules_before = a->rules.size() + a->leaf_rules.size();
+    const size_t nodes_before = tree->size();
+    *a = ShrinkNbta(std::move(*a),
+                    [&](const Nbta& cand) { return still_fails(cand, *tree); });
+    *tree = ShrinkTree(std::move(*tree), [&](const BinaryTree& cand) {
+      return still_fails(*a, cand);
+    });
+    progress = a->num_states < states_before ||
+               a->rules.size() + a->leaf_rules.size() < rules_before ||
+               tree->size() < nodes_before;
+  }
+}
+
+}  // namespace pebbletc

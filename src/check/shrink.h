@@ -1,0 +1,54 @@
+// Greedy shrinking of failing diffcheck witnesses to minimal reproducers.
+//
+// Given a witness (an automaton, a tree, or an (automaton, tree) pair) and a
+// predicate that re-runs the failing law, the shrinkers repeatedly try
+// structurally smaller candidates and keep any candidate on which the law
+// still fails. The result is locally minimal: no single shrink step (hoist a
+// subtree over its parent, drop one rule, drop one state, clear one
+// accepting bit) preserves the failure.
+//
+// Predicates must be pure with respect to their argument; the shrinkers call
+// them O(size²) times.
+
+#ifndef PEBBLETC_CHECK_SHRINK_H_
+#define PEBBLETC_CHECK_SHRINK_H_
+
+#include <functional>
+
+#include "src/ta/nbta.h"
+#include "src/tree/binary_tree.h"
+
+namespace pebbletc {
+
+/// True ⇔ the law still fails on this candidate.
+using TreeFailurePredicate = std::function<bool(const BinaryTree&)>;
+using NbtaFailurePredicate = std::function<bool(const Nbta&)>;
+
+/// `tree` with the subtree rooted at `node` replaced by the subtree rooted
+/// at `replacement` (a descendant of `node`, typically one of its children).
+/// Nodes are renumbered; the result is a fresh tree.
+BinaryTree HoistSubtree(const BinaryTree& tree, NodeId node,
+                        NodeId replacement);
+
+/// Greedily hoists children over their parents while `still_fails` holds.
+/// `still_fails(tree)` must be true on entry.
+BinaryTree ShrinkTree(BinaryTree tree, const TreeFailurePredicate& still_fails);
+
+/// `a` without state `q`: rules and leaf rules touching `q` are dropped,
+/// higher state ids shift down by one.
+Nbta RemoveState(const Nbta& a, StateId q);
+
+/// Greedily drops binary rules, leaf rules, accepting bits, and whole states
+/// while `still_fails` holds. `still_fails(a)` must be true on entry.
+Nbta ShrinkNbta(Nbta a, const NbtaFailurePredicate& still_fails);
+
+/// Joint shrink of an (automaton, tree) witness: alternates ShrinkNbta (tree
+/// held fixed) and ShrinkTree (automaton held fixed) until neither makes
+/// progress. `still_fails(a, tree)` must be true on entry.
+void ShrinkNbtaAndTree(
+    Nbta* a, BinaryTree* tree,
+    const std::function<bool(const Nbta&, const BinaryTree&)>& still_fails);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_CHECK_SHRINK_H_
