@@ -160,36 +160,52 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
   }
   PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
 
-  std::map<std::tuple<SymbolId, StateId, StateId>, StateId> trans;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    const size_t snapshot = subsets.size();
-    if (max_states != 0 && snapshot > max_states) {
+  // Frontier-driven closure (the discipline of docs/DETERMINIZE.md): subset
+  // p is paired against every j ≤ p in both child positions when it leaves
+  // the frontier, so each (symbol, i, j) triple is computed exactly once and
+  // records append to a flat list — no transition map, no pass rescans.
+  struct TransRec {
+    SymbolId sym;
+    StateId l;
+    StateId r;
+    StateId to;
+  };
+  std::vector<TransRec> trans;
+  size_t pairs_expanded = 0;
+  for (StateId p = 0; p < subsets.size(); ++p) {
+    if (max_states != 0 && subsets.size() > max_states) {
+      if (ctx != nullptr) {
+        ctx->counters.det_pairs_expanded += pairs_expanded;
+        ctx->counters.det_subsets_interned += subsets.size();
+      }
       return Status::ResourceExhausted(
           "downward subset construction exceeded " +
           std::to_string(max_states) + " states");
     }
     for (SymbolId a : input_alphabet.BinarySymbols()) {
-      for (StateId i = 0; i < snapshot; ++i) {
-        for (StateId j = 0; j < snapshot; ++j) {
-          PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
-          auto key = std::make_tuple(a, i, j);
-          if (trans.count(key)) continue;
-          trans[key] = intern(node_set(a, &subsets[i], &subsets[j]));
+      PEBBLETC_RETURN_IF_ERROR(TaCheckpoint(ctx));
+      for (StateId j = 0; j <= p; ++j) {
+        trans.push_back({a, p, j, intern(node_set(a, &subsets[p], &subsets[j]))});
+        ++pairs_expanded;
+        if (j != p) {
+          trans.push_back(
+              {a, j, p, intern(node_set(a, &subsets[j], &subsets[p]))});
+          ++pairs_expanded;
         }
+        // node_set drains early on interruption; never intern further
+        // partial subsets once the sticky interrupt is set.
+        PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
       }
     }
-    if (subsets.size() > snapshot) changed = true;
   }
-  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+  if (ctx != nullptr) {
+    ctx->counters.det_pairs_expanded += pairs_expanded;
+    ctx->counters.det_subsets_interned += subsets.size();
+  }
 
   for (size_t i = 0; i < subsets.size(); ++i) out.AddState();
   for (auto [a, q] : leaf_rules) out.AddLeafRule(a, q);
-  for (const auto& [key, to] : trans) {
-    auto [a, l, r] = key;
-    out.AddRule(a, l, r, to);
-  }
+  for (const TransRec& t : trans) out.AddRule(t.sym, t.l, t.r, t.to);
   // Accepting: some output from the initial transducer state is accepted
   // by D.
   for (size_t i = 0; i < subsets.size(); ++i) {

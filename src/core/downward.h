@@ -26,10 +26,14 @@ namespace pebbletc {
 bool IsDownwardTransducer(const PebbleTransducer& t);
 
 /// Builds a (deterministic, reachable-subset) bottom-up automaton over the
-/// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }. The context's
-/// `fastpath_max_states` budget bounds the subset space (0 = unlimited) and
-/// its counters accrue the construction cost. Fails with kInvalidArgument if
-/// `t` is not downward or alphabets mismatch.
+/// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }, using the same
+/// frontier discipline as DeterminizeNbta (docs/DETERMINIZE.md): each
+/// (symbol, subset, subset) pair is expanded exactly once. The context's
+/// `fastpath_max_states` budget bounds the subset space (0 = unlimited),
+/// aborting with kResourceExhausted; deadline/cancel checkpoints surface as
+/// kDeadlineExceeded / kCancelled. `det_subsets_interned` and
+/// `det_pairs_expanded` record frontier progress on every exit path. Fails
+/// with kInvalidArgument if `t` is not downward or alphabets mismatch.
 Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
                                       const RankedAlphabet& input_alphabet,
                                       TaOpContext* ctx);

@@ -141,7 +141,9 @@ struct TypecheckResult {
   MsoCompileStats mso_stats;
   /// Unified automaton-operation cost profile for the whole run: every pass
   /// shares one TaOpContext, so these counters cover the complete pipeline
-  /// (states materialized, rules scanned, determinizations, wall time, ...).
+  /// (states materialized, rules scanned, determinizations, wall time, and
+  /// the frontier counters det_pairs_expanded / det_subsets_interned from
+  /// every subset construction along the way — see docs/DETERMINIZE.md).
   TaOpCounters op_counters;
 };
 

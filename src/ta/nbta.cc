@@ -1,11 +1,12 @@
 #include "src/ta/nbta.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
-#include <tuple>
 #include <utility>
 
 #include "src/common/check.h"
@@ -155,7 +156,344 @@ Nbta Dbta::ToNbta(const RankedAlphabet& alphabet) const {
 
 namespace {
 
-using Subset = std::vector<StateId>;  // sorted, unique
+// --- the frontier-driven determinization engine (docs/DETERMINIZE.md) ---
+//
+// Subsets are processed in interning order; dequeuing subset p expands the
+// pairs (p, j) and (j, p) for every j ≤ p and each binary symbol. Any pair
+// (i, j) is therefore expanded exactly once — when max(i, j) leaves the
+// frontier — instead of being rescanned on every pass of a fixpoint.
+
+// One computed transition δ_sym(l, r) = to. The frontier discipline produces
+// each (sym, l, r) triple exactly once, so records append to a flat list; no
+// transition map is needed.
+struct DetTrans {
+  SymbolId sym;
+  StateId l;
+  StateId r;
+  StateId to;
+};
+
+constexpr uint32_t kNoSubset = 0xffffffffu;
+
+// Budget/overflow check shared by both regimes. The state budget and the
+// dense-table cap are enforced *during* the frontier loop (between frontier
+// items and at the interior polls), so a blowing-up construction aborts
+// promptly instead of after a full pass.
+Status DetBudgetCheck(size_t num_subsets, size_t max_states,
+                      uint32_t num_symbols) {
+  if (max_states != 0 && num_subsets > max_states) {
+    return Status::ResourceExhausted(
+        "determinization exceeded state budget of " +
+        std::to_string(max_states));
+  }
+  const size_t table_entries =
+      static_cast<size_t>(num_symbols) * num_subsets * num_subsets;
+  if (table_entries > (size_t{1} << 28)) {
+    return Status::ResourceExhausted(
+        "determinized transition table too large (" +
+        std::to_string(table_entries) + " entries)");
+  }
+  return Status::OK();
+}
+
+// Dense regime (≤ kDenseMaskMaxStates states): a subset is one uint32_t
+// mask, the interner is a direct-mapped 2^|Q| array, and δ is a mask fold
+// over the index's precomputed successor-mask table. Folding the table
+// against the frontier subset once per (item, symbol) makes each pair cost
+// O(|S_j|) single-word ORs — the regime where the naive all-2^n bitmask
+// reference used to win.
+Result<Dbta> DeterminizeDense(const NbtaIndex& idx, TaOpContext* ctx) {
+  const Nbta& a = idx.nbta();
+  const uint32_t ns = a.num_states;
+  const size_t max_states = TaBudgetMaxDetStates(ctx);
+
+  uint32_t accepting_mask = 0;
+  for (StateId q : idx.AcceptingStates()) accepting_mask |= 1u << q;
+
+  std::vector<uint32_t> mask_to_id(size_t{1} << ns, kNoSubset);
+  std::vector<uint32_t> subsets;  // id → state mask
+  auto intern = [&](uint32_t m) -> StateId {
+    uint32_t& slot = mask_to_id[m];
+    if (slot == kNoSubset) {
+      slot = static_cast<uint32_t>(subsets.size());
+      subsets.push_back(m);
+    }
+    return slot;
+  };
+
+  intern(0);  // the empty (sink) subset is state 0
+  std::vector<StateId> leaf_state(a.num_symbols);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    uint32_t m = 0;
+    for (StateId q : idx.LeafTargets(s)) m |= 1u << q;
+    leaf_state[s] = intern(m);
+  }
+
+  std::vector<SymbolId> active;  // symbols with at least one binary rule
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    if (!idx.RulesWithSymbol(s).empty()) active.push_back(s);
+  }
+
+  std::vector<DetTrans> trans;
+  size_t pairs = 0;
+  size_t rules_scanned = 0;
+  auto flush = [&]() {
+    TaCountRules(ctx, rules_scanned);
+    if (ctx != nullptr) {
+      ctx->counters.det_pairs_expanded += pairs;
+      ctx->counters.det_subsets_interned += subsets.size();
+    }
+  };
+
+  std::vector<uint32_t> left_fold(ns), right_fold(ns);
+  size_t next_poll = 4096;
+  for (uint32_t p = 0; p < subsets.size(); ++p) {
+    for (SymbolId s : active) {
+      Status interrupt = TaCheckpoint(ctx);
+      if (!interrupt.ok()) {
+        flush();
+        return interrupt;
+      }
+      std::span<const uint32_t> tm = idx.SuccessorMasks(s);
+      const uint32_t sp = subsets[p];
+      // Fold the successor table against the frontier subset once:
+      //   left_fold[q2]  = δ-contribution of S_p as *left* child with q2,
+      //   right_fold[q1] = δ-contribution of S_p as *right* child with q1.
+      for (uint32_t q2 = 0; q2 < ns; ++q2) left_fold[q2] = 0;
+      for (uint32_t m = sp; m != 0; m &= m - 1) {
+        const uint32_t q1 = static_cast<uint32_t>(std::countr_zero(m));
+        const uint32_t* row = tm.data() + static_cast<size_t>(q1) * ns;
+        for (uint32_t q2 = 0; q2 < ns; ++q2) left_fold[q2] |= row[q2];
+      }
+      for (uint32_t q1 = 0; q1 < ns; ++q1) {
+        const uint32_t* row = tm.data() + static_cast<size_t>(q1) * ns;
+        uint32_t acc = 0;
+        for (uint32_t m = sp; m != 0; m &= m - 1) {
+          acc |= row[std::countr_zero(m)];
+        }
+        right_fold[q1] = acc;
+      }
+      rules_scanned +=
+          2 * static_cast<size_t>(ns) * std::popcount(sp);
+
+      for (uint32_t j = 0; j <= p; ++j) {
+        const uint32_t sj = subsets[j];
+        uint32_t out_lr = 0;  // δ(S_p, S_j)
+        for (uint32_t m = sj; m != 0; m &= m - 1) {
+          out_lr |= left_fold[std::countr_zero(m)];
+        }
+        trans.push_back({s, p, j, intern(out_lr)});
+        ++pairs;
+        if (j != p) {
+          uint32_t out_rl = 0;  // δ(S_j, S_p)
+          for (uint32_t m = sj; m != 0; m &= m - 1) {
+            out_rl |= right_fold[std::countr_zero(m)];
+          }
+          trans.push_back({s, j, p, intern(out_rl)});
+          ++pairs;
+        }
+        if (pairs >= next_poll) {
+          next_poll = pairs + 4096;
+          Status st = TaCheckpoint(ctx);
+          if (st.ok()) {
+            st = DetBudgetCheck(subsets.size(), max_states, a.num_symbols);
+          }
+          if (!st.ok()) {
+            flush();
+            return st;
+          }
+        }
+      }
+      Status st = DetBudgetCheck(subsets.size(), max_states, a.num_symbols);
+      if (!st.ok()) {
+        flush();
+        return st;
+      }
+    }
+  }
+
+  const size_t n = subsets.size();
+  Dbta out(static_cast<uint32_t>(n), a.num_symbols);
+  for (size_t q = 0; q < n; ++q) {
+    out.set_accepting(static_cast<StateId>(q),
+                      (subsets[q] & accepting_mask) != 0);
+  }
+  // Symbols with no binary rules never fire; their table rows keep the sink
+  // default (0) from the Dbta constructor.
+  for (SymbolId s = 0; s < a.num_symbols; ++s) out.SetLeafState(s, leaf_state[s]);
+  for (const DetTrans& t : trans) out.SetNext(t.sym, t.l, t.r, t.to);
+  if (ctx != nullptr) {
+    ctx->counters.determinizations++;
+    ctx->counters.states_materialized += n;
+  }
+  flush();
+  return out;
+}
+
+// Sparse regime (> kDenseMaskMaxStates states): subsets are w-word packed
+// bitsets in a flat arena, interned through an open-addressing hash table
+// (linear probing, power-of-two capacity, grown at 9/16 load), and δ walks
+// the compiled (symbol, left-state) adjacency rows — each pair exactly once.
+Result<Dbta> DeterminizeSparse(const NbtaIndex& idx, TaOpContext* ctx) {
+  const Nbta& a = idx.nbta();
+  const uint32_t ns = a.num_states;
+  const uint32_t w = (ns + 63) / 64;
+  const size_t max_states = TaBudgetMaxDetStates(ctx);
+
+  std::vector<uint64_t> acc_words(w, 0);
+  for (StateId q : idx.AcceptingStates()) {
+    acc_words[q >> 6] |= uint64_t{1} << (q & 63);
+  }
+
+  // Subset arena + open-addressing interner keyed on the packed words.
+  std::vector<uint64_t> pool;  // subset k occupies [k*w, (k+1)*w)
+  size_t count = 0;
+  size_t cap = 64;  // power of two
+  std::vector<uint32_t> slots(cap, kNoSubset);
+  auto hash_words = [w](const uint64_t* s) -> uint64_t {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (uint32_t i = 0; i < w; ++i) {
+      h ^= s[i];
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+    }
+    return h;
+  };
+  auto find_slot = [&](const uint64_t* s) -> uint32_t* {
+    size_t i = hash_words(s) & (cap - 1);
+    while (slots[i] != kNoSubset) {
+      const uint64_t* have = pool.data() + static_cast<size_t>(slots[i]) * w;
+      if (std::equal(have, have + w, s)) return &slots[i];
+      i = (i + 1) & (cap - 1);
+    }
+    return &slots[i];
+  };
+  auto intern = [&](const uint64_t* s) -> StateId {
+    if ((count + 1) * 16 > cap * 9) {  // keep load ≤ 9/16
+      cap *= 2;
+      std::fill(slots.begin(), slots.end(), kNoSubset);
+      slots.resize(cap, kNoSubset);
+      for (size_t k = 0; k < count; ++k) {
+        const uint64_t* have = pool.data() + k * w;
+        size_t i = hash_words(have) & (cap - 1);
+        while (slots[i] != kNoSubset) i = (i + 1) & (cap - 1);
+        slots[i] = static_cast<uint32_t>(k);
+      }
+    }
+    uint32_t* slot = find_slot(s);
+    if (*slot == kNoSubset) {
+      *slot = static_cast<uint32_t>(count++);
+      pool.insert(pool.end(), s, s + w);
+    }
+    return *slot;
+  };
+
+  std::vector<uint64_t> scratch(w, 0);
+  intern(scratch.data());  // the empty (sink) subset is state 0
+  std::vector<StateId> leaf_state(a.num_symbols);
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    std::fill(scratch.begin(), scratch.end(), 0);
+    for (StateId q : idx.LeafTargets(s)) {
+      scratch[q >> 6] |= uint64_t{1} << (q & 63);
+    }
+    leaf_state[s] = intern(scratch.data());
+  }
+
+  std::vector<SymbolId> active;
+  for (SymbolId s = 0; s < a.num_symbols; ++s) {
+    if (!idx.RulesWithSymbol(s).empty()) active.push_back(s);
+  }
+
+  size_t rules_scanned = 0;
+  size_t pairs = 0;
+  auto flush = [&]() {
+    TaCountRules(ctx, rules_scanned);
+    if (ctx != nullptr) {
+      ctx->counters.det_pairs_expanded += pairs;
+      ctx->counters.det_subsets_interned += count;
+    }
+  };
+
+  // δ(left, right) for `sym` into `scratch`. Pointers into the arena are
+  // taken fresh per call: interning grows the pool only between calls.
+  auto successor = [&](SymbolId sym, uint32_t li, uint32_t ri) {
+    std::fill(scratch.begin(), scratch.end(), 0);
+    const uint64_t* lw = pool.data() + static_cast<size_t>(li) * w;
+    const uint64_t* rw = pool.data() + static_cast<size_t>(ri) * w;
+    for (uint32_t wi = 0; wi < w; ++wi) {
+      for (uint64_t word = lw[wi]; word != 0; word &= word - 1) {
+        const uint32_t q1 = wi * 64 + static_cast<uint32_t>(
+                                          std::countr_zero(word));
+        std::span<const NbtaIndex::RightTo> row = idx.SymbolLeft(sym, q1);
+        rules_scanned += row.size();
+        for (const NbtaIndex::RightTo& rt : row) {
+          if ((rw[rt.right >> 6] >> (rt.right & 63)) & 1) {
+            scratch[rt.to >> 6] |= uint64_t{1} << (rt.to & 63);
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<DetTrans> trans;
+  size_t next_poll = 4096;
+  for (uint32_t p = 0; p < count; ++p) {
+    for (SymbolId s : active) {
+      Status interrupt = TaCheckpoint(ctx);
+      if (!interrupt.ok()) {
+        flush();
+        return interrupt;
+      }
+      for (uint32_t j = 0; j <= p; ++j) {
+        successor(s, p, j);
+        trans.push_back({s, p, j, intern(scratch.data())});
+        ++pairs;
+        if (j != p) {
+          successor(s, j, p);
+          trans.push_back({s, j, p, intern(scratch.data())});
+          ++pairs;
+        }
+        // Adjacency rows can be long, so the interior poll is driven by
+        // rules scanned rather than pairs: bounded interruption latency
+        // even when single pairs are heavy.
+        if (rules_scanned >= next_poll) {
+          next_poll = rules_scanned + 4096;
+          Status st = TaCheckpoint(ctx);
+          if (st.ok()) {
+            st = DetBudgetCheck(count, max_states, a.num_symbols);
+          }
+          if (!st.ok()) {
+            flush();
+            return st;
+          }
+        }
+      }
+      Status st = DetBudgetCheck(count, max_states, a.num_symbols);
+      if (!st.ok()) {
+        flush();
+        return st;
+      }
+    }
+  }
+
+  Dbta out(static_cast<uint32_t>(count), a.num_symbols);
+  for (size_t q = 0; q < count; ++q) {
+    const uint64_t* qs = pool.data() + q * w;
+    bool acc = false;
+    for (uint32_t wi = 0; wi < w && !acc; ++wi) {
+      acc = (qs[wi] & acc_words[wi]) != 0;
+    }
+    out.set_accepting(static_cast<StateId>(q), acc);
+  }
+  for (SymbolId s = 0; s < a.num_symbols; ++s) out.SetLeafState(s, leaf_state[s]);
+  for (const DetTrans& t : trans) out.SetNext(t.sym, t.l, t.r, t.to);
+  if (ctx != nullptr) {
+    ctx->counters.determinizations++;
+    ctx->counters.states_materialized += count;
+  }
+  flush();
+  return out;
+}
 
 }  // namespace
 
@@ -166,118 +504,8 @@ Result<Dbta> DeterminizeNbta(const NbtaIndex& idx,
     return Status::InvalidArgument("alphabet size mismatch in determinize");
   }
   TaOpTimer timer(ctx);
-  const size_t max_states = TaBudgetMaxDetStates(ctx);
-  size_t rules_scanned = 0;
-
-  std::map<Subset, StateId> index;
-  std::vector<Subset> subsets;
-  auto intern = [&](Subset s) -> StateId {
-    auto [it, inserted] = index.emplace(std::move(s), subsets.size());
-    if (inserted) subsets.push_back(it->first);
-    return it->second;
-  };
-
-  // Leaf subsets.
-  std::vector<StateId> leaf_state(a.num_symbols);
-  intern({});  // ensure the empty (sink) subset exists as state 0
-  for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    std::span<const StateId> targets = idx.LeafTargets(s);
-    Subset set(targets.begin(), targets.end());
-    std::sort(set.begin(), set.end());
-    set.erase(std::unique(set.begin(), set.end()), set.end());
-    leaf_state[s] = intern(std::move(set));
-  }
-
-  // Fixpoint over symbol × subset × subset, using the compiled
-  // (symbol, left-state) adjacency; passes continue until no new subsets.
-  auto successor = [&](SymbolId sym, const Subset& s1,
-                       const Subset& s2) -> Subset {
-    std::vector<bool> in2(a.num_states, false);
-    for (StateId q : s2) in2[q] = true;
-    std::vector<bool> out_set(a.num_states, false);
-    Subset out;
-    for (StateId q1 : s1) {
-      std::span<const NbtaIndex::RightTo> row = idx.SymbolLeft(sym, q1);
-      rules_scanned += row.size();
-      for (const NbtaIndex::RightTo& rt : row) {
-        if (in2[rt.right] && !out_set[rt.to]) {
-          out_set[rt.to] = true;
-          out.push_back(rt.to);
-        }
-      }
-    }
-    std::sort(out.begin(), out.end());
-    return out;
-  };
-
-  // transitions[(sym, i, j)] filled as discovered.
-  std::map<std::tuple<SymbolId, StateId, StateId>, StateId> trans;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    const size_t snapshot = subsets.size();
-    if (max_states != 0 && snapshot > max_states) {
-      TaCountRules(ctx, rules_scanned);
-      return Status::ResourceExhausted(
-          "determinization exceeded state budget of " +
-          std::to_string(max_states));
-    }
-    for (SymbolId s = 0; s < a.num_symbols; ++s) {
-      if (idx.RulesWithSymbol(s).empty()) continue;
-      for (StateId i = 0; i < snapshot; ++i) {
-        for (StateId j = 0; j < snapshot; ++j) {
-          Status interrupt = TaCheckpoint(ctx);
-          if (!interrupt.ok()) {
-            TaCountRules(ctx, rules_scanned);
-            return interrupt;
-          }
-          auto key = std::make_tuple(s, i, j);
-          if (trans.count(key)) continue;
-          StateId to = intern(successor(s, subsets[i], subsets[j]));
-          trans[key] = to;
-          if (subsets.size() > snapshot) changed = true;
-        }
-      }
-    }
-    if (subsets.size() > static_cast<size_t>(snapshot)) changed = true;
-  }
-  TaCountRules(ctx, rules_scanned);
-
-  const size_t n = subsets.size();
-  if (max_states != 0 && n > max_states) {
-    return Status::ResourceExhausted(
-        "determinization exceeded state budget of " + std::to_string(max_states));
-  }
-  const size_t table_entries =
-      static_cast<size_t>(a.num_symbols) * n * n;
-  if (table_entries > (size_t{1} << 28)) {
-    return Status::ResourceExhausted(
-        "determinized transition table too large (" +
-        std::to_string(table_entries) + " entries)");
-  }
-
-  Dbta out(static_cast<uint32_t>(n), a.num_symbols);
-  for (StateId q = 0; q < n; ++q) {
-    bool acc = false;
-    for (StateId s : subsets[q]) acc = acc || a.accepting[s];
-    out.set_accepting(q, acc);
-  }
-  for (SymbolId s = 0; s < a.num_symbols; ++s) {
-    out.SetLeafState(s, leaf_state[s]);
-    for (StateId i = 0; i < n; ++i) {
-      for (StateId j = 0; j < n; ++j) {
-        auto it = trans.find(std::make_tuple(s, i, j));
-        // Symbols with no binary rules never fire; default to the sink (0).
-        out.SetNext(s, static_cast<StateId>(i), static_cast<StateId>(j),
-                    it == trans.end() ? 0 : it->second);
-      }
-    }
-  }
-  if (ctx != nullptr) {
-    ctx->counters.determinizations++;
-    ctx->counters.states_materialized += n;
-  }
-  return out;
+  return idx.DenseMasksApplicable() ? DeterminizeDense(idx, ctx)
+                                    : DeterminizeSparse(idx, ctx);
 }
 
 Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,

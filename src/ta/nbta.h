@@ -129,17 +129,27 @@ class Dbta {
   std::vector<StateId> table_;
 };
 
-/// Subset construction (only reachable subsets are materialized). May be
-/// exponential; the context's `max_det_states` budget (0 = unlimited) aborts
-/// with kResourceExhausted beyond it. `alphabet` supplies symbol ranks so
-/// that only rank-valid transitions are explored.
+/// Subset construction (only reachable subsets are materialized), frontier
+/// driven: each (symbol, subset, subset) pair is expanded exactly once, via
+/// uint32 masks for inputs of ≤ 16 states and packed bitsets above that (see
+/// docs/DETERMINIZE.md for the regimes and invariants). May be exponential.
+///
+/// Budgets: `max_det_states` (0 = unlimited) aborts with kResourceExhausted
+/// once the interned-subset count exceeds it; a hard transition-table cap
+/// (2^28 entries) fails the same way. Deadlines/cancellation are polled
+/// between frontier pairs and surface as kDeadlineExceeded / kCancelled.
+/// Counters: `det_subsets_interned` and `det_pairs_expanded` record frontier
+/// progress on every exit path (including failures); `determinizations` and
+/// `states_materialized` advance only on success.
 Result<Dbta> DeterminizeNbta(const NbtaIndex& a, const RankedAlphabet& alphabet,
                              TaOpContext* ctx = nullptr);
 Result<Dbta> DeterminizeNbta(const Nbta& a, const RankedAlphabet& alphabet,
                              size_t max_states = 0);
 
 /// Complement *relative to well-ranked trees*: accepts exactly the trees over
-/// `alphabet` that `a` rejects. Goes through determinization.
+/// `alphabet` that `a` rejects. Determinizes internally, so the
+/// `max_det_states` budget applies and kResourceExhausted /
+/// kDeadlineExceeded propagate from DeterminizeNbta unchanged.
 Result<Nbta> ComplementNbta(const NbtaIndex& a, const RankedAlphabet& alphabet,
                             TaOpContext* ctx = nullptr);
 Result<Nbta> ComplementNbta(const Nbta& a, const RankedAlphabet& alphabet,
@@ -162,15 +172,18 @@ std::optional<BinaryTree> WitnessTree(const NbtaIndex& a,
                                       TaOpContext* ctx = nullptr);
 std::optional<BinaryTree> WitnessTree(const Nbta& a);
 
-/// inst(sub) ⊆ inst(super)? Exponential in |super| (complementation); the
-/// determinization budget applies.
+/// inst(sub) ⊆ inst(super)? Determinizes internally (complements `super`),
+/// hence exponential in |super| in the worst case; the `max_det_states`
+/// budget applies and kResourceExhausted / kDeadlineExceeded propagate.
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet,
                           size_t max_states = 0);
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet, TaOpContext* ctx);
 
-/// inst(a) = inst(b)?
+/// inst(a) = inst(b)? Two inclusion checks, so it determinizes internally
+/// (both directions); `max_det_states` bounds each and kResourceExhausted /
+/// kDeadlineExceeded propagate.
 Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
                             const RankedAlphabet& alphabet,
                             size_t max_states = 0);
@@ -185,7 +198,9 @@ Nbta TrimNbta(const Nbta& a);
 /// Canonical minimization of a deterministic automaton (Moore partition
 /// refinement over inhabited states, then completion with a sink). The
 /// result accepts the same language with the minimum number of states among
-/// complete DBTAs.
+/// complete DBTAs. Does not determinize (the input already is); checkpoints
+/// between refinement rounds, so kDeadlineExceeded / kCancelled can surface,
+/// but no state budget applies.
 Result<Dbta> MinimizeDbta(const Dbta& d, const RankedAlphabet& alphabet,
                           TaOpContext* ctx = nullptr);
 

@@ -1,5 +1,7 @@
 #include "src/ta/nbta_index.h"
 
+#include "src/common/check.h"
+
 namespace pebbletc {
 
 NbtaIndex::NbtaIndex(const Nbta& a, TaOpContext* ctx) : a_(&a) {
@@ -48,6 +50,25 @@ std::span<const NbtaIndex::RightTo> NbtaIndex::SymbolLeft(SymbolId symbol,
     symbol_left_built_ = true;
   }
   return symbol_left_.Row(static_cast<size_t>(symbol) * a_->num_states + left);
+}
+
+std::span<const uint32_t> NbtaIndex::SuccessorMasks(SymbolId symbol) const {
+  PEBBLETC_CHECK(DenseMasksApplicable())
+      << "SuccessorMasks on an automaton with more than "
+      << kDenseMaskMaxStates << " states";
+  const size_t n = a_->num_states;
+  const size_t per_symbol = n * n;
+  if (!dense_masks_built_) {
+    dense_masks_.assign(static_cast<size_t>(a_->num_symbols) * per_symbol, 0);
+    for (const Nbta::BinaryRule& r : a_->rules) {
+      dense_masks_[static_cast<size_t>(r.symbol) * per_symbol +
+                   static_cast<size_t>(r.left) * n + r.right] |= 1u << r.to;
+    }
+    dense_masks_built_ = true;
+  }
+  return std::span<const uint32_t>(
+      dense_masks_.data() + static_cast<size_t>(symbol) * per_symbol,
+      per_symbol);
 }
 
 }  // namespace pebbletc

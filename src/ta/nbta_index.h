@@ -76,6 +76,20 @@ class NbtaIndex {
   };
   std::span<const RightTo> SymbolLeft(SymbolId symbol, StateId left) const;
 
+  /// True when the automaton is small enough (≤ kDenseMaskMaxStates states)
+  /// for the dense determinization fast path: subsets fit one machine word
+  /// and transitions reduce to mask folds over SuccessorMasks().
+  static constexpr uint32_t kDenseMaskMaxStates = 16;
+  bool DenseMasksApplicable() const {
+    return a_->num_states <= kDenseMaskMaxStates;
+  }
+
+  /// Row-major |Q|×|Q| table for `symbol`: entry [q1*|Q| + q2] is the bitmask
+  /// of states q with a rule symbol(q1, q2) → q. Only valid when
+  /// DenseMasksApplicable(); built lazily for all symbols on first use
+  /// (|Σ|·|Q|² uint32 entries — at most 256 per symbol); not thread-safe.
+  std::span<const uint32_t> SuccessorMasks(SymbolId symbol) const;
+
   /// The accepting states, as a list.
   std::span<const StateId> AcceptingStates() const {
     return accepting_states_;
@@ -100,6 +114,9 @@ class NbtaIndex {
 
   mutable bool symbol_left_built_ = false;
   mutable Csr<RightTo> symbol_left_;
+
+  mutable bool dense_masks_built_ = false;
+  mutable std::vector<uint32_t> dense_masks_;
 };
 
 }  // namespace pebbletc

@@ -75,6 +75,15 @@ struct TaOpCounters {
   size_t rules_scanned = 0;
   /// Completed determinizations / subset constructions.
   size_t determinizations = 0;
+  /// (left-subset, right-subset, symbol) frontier pairs expanded by subset
+  /// constructions. With the frontier-driven engine each pair is expanded
+  /// exactly once, so this is the construction's true work measure — the
+  /// retired pass-rescan fixpoint revisited pairs every pass.
+  size_t det_pairs_expanded = 0;
+  /// Distinct subsets interned by subset constructions, counted as they are
+  /// created (not just on success) so an exhausted run still reports how far
+  /// the frontier got.
+  size_t det_subsets_interned = 0;
   /// Complementations (each implies a determinization).
   size_t complementations = 0;
   /// Product constructions (intersections and transducer products).

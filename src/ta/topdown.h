@@ -116,18 +116,22 @@ class TopDownIndex {
 
 /// The Section 2.3 construction: an equivalent automaton with no silent
 /// transitions. (Transitions (a,q)→(q1,q2) are added whenever q ⇒*_a q' and
-/// (a,q')→(q1,q2); likewise for final pairs.) On interruption (checkpoint
-/// trip on `ctx`) the elimination drains early with a sound-but-incomplete
-/// automaton; callers check TaInterruptStatus(ctx).
+/// (a,q')→(q1,q2); likewise for final pairs.) Does not determinize, so no
+/// `max_det_states` budget applies; deadline/cancel checkpoints on `ctx` are
+/// the only interruption source. On interruption (checkpoint trip on `ctx`)
+/// the elimination drains early with a sound-but-incomplete automaton;
+/// callers check TaInterruptStatus(ctx) for the kDeadlineExceeded /
+/// kCancelled verdict rather than trusting the partial result.
 TopDownTA EliminateSilentTransitions(const TopDownTA& a,
                                      TaOpContext* ctx = nullptr);
 TopDownTA EliminateSilentTransitions(const TopDownIndex& a,
                                      TaOpContext* ctx = nullptr);
 
 /// Direct acceptance check via alternating-graph accessibility on the
-/// configuration space (state × node) — handles silent transitions. The
-/// TopDownTA overload compiles a throwaway index; prefer the TopDownIndex
-/// form when checking several trees against one automaton.
+/// configuration space (state × node) — handles silent transitions without
+/// determinizing or eliminating them, so no budget applies and the check
+/// cannot fail. The TopDownTA overload compiles a throwaway index; prefer
+/// the TopDownIndex form when checking several trees against one automaton.
 bool TopDownAccepts(const TopDownTA& a, const BinaryTree& tree);
 bool TopDownAccepts(const TopDownIndex& a, const BinaryTree& tree);
 
