@@ -1,6 +1,7 @@
 #include "src/check/diffcheck.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <functional>
@@ -25,6 +26,7 @@
 #include "src/ta/nbta_index.h"
 #include "src/ta/op_context.h"
 #include "src/ta/random_ta.h"
+#include "src/ta/thread_pool.h"
 #include "src/ta/topdown.h"
 #include "src/tree/encode.h"
 #include "src/tree/random_tree.h"
@@ -147,8 +149,13 @@ std::string CanonicalKey(const BinaryTree& t, const RankedAlphabet& sigma) {
 
 class Harness {
  public:
-  explicit Harness(const DiffcheckOptions& opts)
+  // `shared_failures` (optional) is a sweep-wide failure tally shared by the
+  // workers of a sharded run: every worker bumps it on Fail() and stops once
+  // it crosses max_failures, so one worker's findings cap the whole sweep.
+  explicit Harness(const DiffcheckOptions& opts,
+                   std::atomic<size_t>* shared_failures = nullptr)
       : opts_(opts),
+        shared_failures_(shared_failures),
         base_(DiffcheckAlphabet(false)),
         ext_(DiffcheckAlphabet(true)) {
     exhaustive_base_ = AllTreesUpToNodes(base_, opts_.exhaustive_max_nodes,
@@ -164,6 +171,11 @@ class Harness {
   DiffcheckReport Run() {
     for (size_t i = opts_.start; i < opts_.start + opts_.iters; ++i) {
       if (report_.failures.size() >= opts_.max_failures) break;
+      if (shared_failures_ != nullptr &&
+          shared_failures_->load(std::memory_order_relaxed) >=
+              opts_.max_failures) {
+        break;
+      }
       RunIteration(i);
       ++report_.iterations;
     }
@@ -185,6 +197,9 @@ class Harness {
       return;
     }
     failed_laws_.insert(law);
+    if (shared_failures_ != nullptr) {
+      shared_failures_->fetch_add(1, std::memory_order_relaxed);
+    }
     DiffcheckFailure f;
     f.law = law;
     f.iteration = iter;
@@ -308,10 +323,15 @@ class Harness {
     if (opts_.typecheck_deadline_ms != 0) {
       o.deadline = std::chrono::milliseconds(opts_.typecheck_deadline_ms);
     }
+    // The sweep parallelizes at the iteration level only; every op inside an
+    // iteration stays serial so its behavior depends on (seed, iteration)
+    // alone and any failure replays exactly regardless of --threads.
+    o.num_threads = 1;
     return o;
   }
 
   const DiffcheckOptions opts_;
+  std::atomic<size_t>* shared_failures_;
   DiffcheckReport report_;
   RankedAlphabet base_;
   RankedAlphabet ext_;
@@ -1141,8 +1161,60 @@ std::string FormatNbtaConstruction(const Nbta& a, const RankedAlphabet& sigma,
 }
 
 DiffcheckReport RunDiffcheck(const DiffcheckOptions& options) {
-  Harness harness(options);
-  return harness.Run();
+  const uint32_t threads = std::min<uint64_t>(
+      options.num_threads == 0 ? TaThreadPool::HardwareWorkers()
+                               : options.num_threads,
+      options.iters == 0 ? 1 : options.iters);
+  if (threads <= 1) {
+    Harness harness(options);
+    return harness.Run();
+  }
+
+  // Sharded sweep: contiguous per-worker iteration ranges (iteration i draws
+  // from MixSeed(seed, i) alone, so the split has no effect on what any
+  // iteration does), one Harness per worker, a shared failure tally capping
+  // the whole sweep, and a deterministic merge ordered by worker index.
+  std::vector<DiffcheckReport::WorkerRange> ranges(threads);
+  const size_t base = options.iters / threads;
+  const size_t rem = options.iters % threads;
+  size_t next_start = options.start;
+  for (uint32_t w = 0; w < threads; ++w) {
+    ranges[w].worker = w;
+    ranges[w].start = next_start;
+    ranges[w].iters = base + (w < rem ? 1 : 0);
+    next_start += ranges[w].iters;
+  }
+
+  std::atomic<size_t> shared_failures{0};
+  std::vector<DiffcheckReport> reports(threads);
+  TaThreadPool::Instance().Run(threads, [&](uint32_t w) {
+    DiffcheckOptions shard = options;
+    shard.start = ranges[w].start;
+    shard.iters = ranges[w].iters;
+    Harness harness(shard, &shared_failures);
+    reports[w] = harness.Run();
+  });
+
+  DiffcheckReport merged;
+  merged.worker_ranges = std::move(ranges);
+  std::set<std::string> seen_laws;
+  for (DiffcheckReport& r : reports) {
+    merged.iterations += r.iterations;
+    merged.comparisons += r.comparisons;
+    merged.budget_skips += r.budget_skips;
+    merged.suppressed_failures += r.suppressed_failures;
+    for (DiffcheckFailure& f : r.failures) {
+      // Each law reports once sweep-wide, as in a serial run; later workers'
+      // duplicates count as suppressed.
+      if (!seen_laws.insert(f.law).second ||
+          merged.failures.size() >= options.max_failures) {
+        ++merged.suppressed_failures;
+        continue;
+      }
+      merged.failures.push_back(std::move(f));
+    }
+  }
+  return merged;
 }
 
 }  // namespace pebbletc

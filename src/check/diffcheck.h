@@ -70,6 +70,12 @@ struct DiffcheckOptions {
   /// Budget for each optimized determinization; exhaustion skips the law for
   /// that instance (counted in DiffcheckReport::budget_skips).
   size_t max_det_states = 50000;
+  /// Sweep workers (docs/PARALLEL.md): 0 = hardware concurrency, 1 = serial.
+  /// Above 1 the iteration range splits into contiguous per-worker shards.
+  /// Iterations are deterministic in (seed, iteration) alone — ops *inside*
+  /// an iteration always run serial — so any failure found by a sharded
+  /// sweep replays exactly with --seed=S --start=I --iters=1 --threads=1.
+  uint32_t num_threads = 1;
 };
 
 /// One law violation, with a shrunk, replayable reproducer.
@@ -93,6 +99,15 @@ struct DiffcheckReport {
   std::vector<DiffcheckFailure> failures;
   /// Occurrences per law beyond the first reported failure.
   size_t suppressed_failures = 0;
+  /// The contiguous iteration shard each worker ran (empty for a serial
+  /// sweep). Reported so a sharded sweep's summary pins down exactly which
+  /// worker covered which --start/--iters window.
+  struct WorkerRange {
+    uint32_t worker = 0;
+    size_t start = 0;
+    size_t iters = 0;
+  };
+  std::vector<WorkerRange> worker_ranges;
   bool ok() const { return failures.empty(); }
 };
 

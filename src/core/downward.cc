@@ -1,6 +1,5 @@
 #include "src/core/downward.h"
 
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -143,13 +142,40 @@ Result<Nbta> DownwardProductAutomaton(const PebbleTransducer& t, const Dbta& d,
     return out;
   };
 
-  // Lazy closure over reachable subsets.
-  std::map<Subset, StateId> index;
+  // Lazy closure over reachable subsets, interned flat: the subsets
+  // themselves live in `subsets` (they vary in length), deduplicated through
+  // an open-addressing table keyed by an FNV-1a hash of the elements — the
+  // node-based std::map this replaces paid a tree walk plus a key copy per
+  // lookup (same eviction as the IntersectNbta pair interner, PARALLEL.md).
   std::vector<Subset> subsets;
+  size_t sub_mask = (1u << 8) - 1;
+  std::vector<uint32_t> sub_table(sub_mask + 1, ~0u);
+  auto sub_hash = [](const Subset& s) {
+    uint64_t h = 1469598103934665603ull;
+    for (uint32_t v : s) h = (h ^ v) * 1099511628211ull;
+    return h;
+  };
   auto intern = [&](Subset s) -> StateId {
-    auto [it, inserted] = index.emplace(std::move(s), subsets.size());
-    if (inserted) subsets.push_back(it->first);
-    return it->second;
+    size_t slot = sub_hash(s) & sub_mask;
+    for (;;) {
+      const uint32_t cand = sub_table[slot];
+      if (cand == ~0u) break;
+      if (subsets[cand] == s) return cand;
+      slot = (slot + 1) & sub_mask;
+    }
+    const StateId id = static_cast<StateId>(subsets.size());
+    sub_table[slot] = id;
+    subsets.push_back(std::move(s));
+    if (subsets.size() * 16 > (sub_mask + 1) * 9) {
+      sub_mask = (sub_mask + 1) * 2 - 1;
+      sub_table.assign(sub_mask + 1, ~0u);
+      for (uint32_t i = 0; i < subsets.size(); ++i) {
+        size_t rs = sub_hash(subsets[i]) & sub_mask;
+        while (sub_table[rs] != ~0u) rs = (rs + 1) & sub_mask;
+        sub_table[rs] = i;
+      }
+    }
+    return id;
   };
 
   Nbta out;

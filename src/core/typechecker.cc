@@ -1,6 +1,7 @@
 #include "src/core/typechecker.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta_index.h"
+#include "src/ta/thread_pool.h"
 #include "src/ta/topdown.h"
 #include "src/tree/random_tree.h"
 
@@ -35,6 +37,7 @@ TaOpContext MakeContext(const TypecheckOptions& options) {
   }
   budgets.cancel = options.cancel;
   budgets.checkpoint_stride = options.checkpoint_stride;
+  budgets.num_threads = options.num_threads;
   TaOpContext ctx(budgets);
   ctx.fault = options.fault_injector;
   return ctx;
@@ -85,12 +88,55 @@ Result<bool> Typechecker::CheckOnInput(
     const TypecheckOptions& options,
     std::optional<BinaryTree>* violating_output) const {
   TaOpContext ctx = MakeContext(options);
-  PEBBLETC_ASSIGN_OR_RETURN(
-      Nbta not_tau2,
-      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
-  Nbta trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
-  return CheckOnInputImpl(input, NbtaIndex(trimmed, &ctx), &ctx,
-                          violating_output);
+  if (TaEffectiveThreads(&ctx) < 2) {
+    PEBBLETC_ASSIGN_OR_RETURN(
+        Nbta not_tau2,
+        ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
+    Nbta trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
+    return CheckOnInputImpl(input, NbtaIndex(trimmed, &ctx), &ctx,
+                            violating_output);
+  }
+  // Op-level fork (docs/PARALLEL.md): complement(τ2) and the forward image
+  // T(input) are independent — run them as two shares on their own forked
+  // contexts, then intersect on the parent. The complement's determinization
+  // usually dominates, so the forward image rides along for free.
+  TaOpContext c0 = ctx.Fork();
+  TaOpContext c1 = ctx.Fork();
+  std::optional<Result<Nbta>> not_tau2_or;
+  std::optional<Result<Nbta>> outputs_or;
+  TaThreadPool::Instance().Run(2, [&](uint32_t w) {
+    if (w == 0) {
+      auto complement =
+          ComplementNbta(NbtaIndex(output_type, &c0), output_alphabet_, &c0);
+      if (!complement.ok()) {
+        not_tau2_or = complement.status();
+        return;
+      }
+      not_tau2_or = TrimNbta(NbtaIndex(*complement, &c0), &c0);
+    } else {
+      auto a_t = BuildOutputAutomaton(transducer_, input,
+                                      c1.budgets.max_configs, &c1);
+      if (!a_t.ok()) {
+        outputs_or = a_t.status();
+        return;
+      }
+      outputs_or = TopDownToNbta(a_t->automaton, &c1);
+    }
+  });
+  ctx.MergeChild(c0);
+  ctx.MergeChild(c1);
+  PEBBLETC_RETURN_IF_ERROR(not_tau2_or->status());
+  PEBBLETC_RETURN_IF_ERROR(outputs_or->status());
+  Nbta bad = IntersectNbta(NbtaIndex(**outputs_or, &ctx),
+                           NbtaIndex(**not_tau2_or, &ctx), &ctx);
+  std::optional<BinaryTree> witness = WitnessTree(NbtaIndex(bad, &ctx), &ctx);
+  if (witness.has_value()) {
+    if (violating_output != nullptr) *violating_output = std::move(witness);
+    return false;
+  }
+  // "No witness" is only trustworthy if nothing above drained early.
+  PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(&ctx));
+  return true;
 }
 
 Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& not_tau2_trimmed,
@@ -175,9 +221,35 @@ Result<TypecheckResult> Typechecker::Typecheck(
 
   // complement(τ2) is the workhorse of every pass; compute it (and its rule
   // index) once and share it, instead of re-determinizing per pass — and,
-  // in the refutation pass, per enumerated input tree.
-  auto not_tau2_or =
-      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
+  // in the refutation pass, per enumerated input tree. With a parallel
+  // budget, pass 1's τ1 enumeration (independent of the complement) runs
+  // concurrently as a second share (docs/PARALLEL.md).
+  std::optional<std::vector<BinaryTree>> enumerated;
+  std::optional<Result<Nbta>> complement_or;
+  if (TaEffectiveThreads(&ctx) >= 2 && options.refutation_max_trees > 0) {
+    TaOpContext c0 = ctx.Fork();
+    TaOpContext c1 = ctx.Fork();
+    std::vector<BinaryTree> inputs;
+    TaThreadPool::Instance().Run(2, [&](uint32_t w) {
+      if (w == 0) {
+        complement_or = ComplementNbta(NbtaIndex(output_type, &c0),
+                                       output_alphabet_, &c0);
+      } else {
+        inputs =
+            EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
+                                   options.refutation_max_trees, &c1);
+      }
+    });
+    ctx.MergeChild(c0);
+    ctx.MergeChild(c1);
+    // An interrupted enumeration is a usable prefix — pass 1 is best-effort
+    // sampling anyway; exactness lives in passes 2/3.
+    enumerated = std::move(inputs);
+  } else {
+    complement_or =
+        ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
+  }
+  Result<Nbta>& not_tau2_or = *complement_or;
   if (!not_tau2_or.ok()) {
     if (!IsExhaustion(not_tau2_or.status().code())) {
       return not_tau2_or.status();
@@ -195,8 +267,10 @@ Result<TypecheckResult> Typechecker::Typecheck(
   // Pass 1: bounded refutation — exact per-input checks on small τ1 trees.
   if (options.refutation_max_trees > 0) {
     std::vector<BinaryTree> inputs =
-        EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
-                               options.refutation_max_trees, &ctx);
+        enumerated.has_value()
+            ? std::move(*enumerated)
+            : EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
+                                     options.refutation_max_trees, &ctx);
     for (BinaryTree& input : inputs) {
       std::optional<BinaryTree> violating;
       auto ok = CheckOnInputImpl(input, not_tau2_idx, &ctx, &violating);

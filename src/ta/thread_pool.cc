@@ -1,0 +1,109 @@
+#include "src/ta/thread_pool.h"
+
+#include <algorithm>
+
+namespace pebbletc {
+
+TaThreadPool& TaThreadPool::Instance() {
+  static TaThreadPool pool;
+  return pool;
+}
+
+uint32_t TaThreadPool::HardwareWorkers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint32_t TaThreadPool::started_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(threads_.size());
+}
+
+TaThreadPool::~TaThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaThreadPool::EnsureThreads(uint32_t want) {
+  const uint32_t cap = HardwareWorkers() - 1;
+  want = std::min(want, cap);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() < want && !shutdown_) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+uint32_t TaThreadPool::RunShares(Job& job) {
+  uint32_t ran = 0;
+  for (;;) {
+    const uint32_t share = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (share >= job.total) break;
+    job.body(share);
+    ++ran;
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.total) {
+      // Last share out: wake the Run() caller (which may be parked).
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.all_done.notify_all();
+    }
+  }
+  return ran;
+}
+
+void TaThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] {
+        return shutdown_ || !queue_.empty();
+      });
+      if (shutdown_) return;
+      job = queue_.front();
+      // Pop fully-claimed jobs so the queue only holds jobs with work left.
+      if (job->next.load(std::memory_order_relaxed) >= job->total) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    RunShares(*job);
+  }
+}
+
+void TaThreadPool::Run(uint32_t num_workers,
+                       const std::function<void(uint32_t)>& body) {
+  if (num_workers <= 1) {
+    body(0);
+    return;
+  }
+  EnsureThreads(num_workers - 1);
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->total = num_workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) queue_.push_back(job);
+  }
+  work_available_.notify_all();
+  // The caller claims shares itself, so completion never depends on a pool
+  // thread being free (see the deadlock discipline in the header).
+  RunShares(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->all_done.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) >= job->total;
+    });
+  }
+  // Drop the job from the queue if no worker got around to it.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->get() == job.get()) {
+      queue_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace pebbletc

@@ -1,0 +1,298 @@
+// Tests for the parallel execution layer (docs/PARALLEL.md): TaThreadPool
+// share-stealing, TaOpContext fork/merge, serial-vs-parallel language
+// equality of the sharded product construction (checked through the
+// src/check reference ops, never the optimized suite under test), mid-flight
+// cancellation/deadline draining, and sharded diffcheck sweep equivalence.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/diffcheck.h"
+#include "src/check/reference_ops.h"
+#include "src/common/rng.h"
+#include "src/ta/nbta.h"
+#include "src/ta/nbta_index.h"
+#include "src/ta/op_context.h"
+#include "src/ta/random_ta.h"
+#include "src/ta/thread_pool.h"
+
+namespace pebbletc {
+namespace {
+
+// ---------------------------------------------------------------- pool -----
+
+TEST(ThreadPoolTest, RunExecutesEveryShareExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h = 0;
+  TaThreadPool::Instance().Run(8, [&](uint32_t w) { hits[w]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  std::atomic<int> calls{0};
+  TaThreadPool::Instance().Run(1, [&](uint32_t w) {
+    EXPECT_EQ(w, 0u);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  TaThreadPool::Instance().Run(0, [&](uint32_t) { calls++; });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedRunMakesProgress) {
+  // A share that forks again must never deadlock: the nested caller claims
+  // its own shares when no pool thread is free.
+  std::atomic<int> inner{0};
+  TaThreadPool::Instance().Run(4, [&](uint32_t) {
+    TaThreadPool::Instance().Run(3, [&](uint32_t) { inner++; });
+  });
+  EXPECT_EQ(inner.load(), 12);
+}
+
+TEST(ThreadPoolTest, HardwareWorkersIsPositive) {
+  EXPECT_GE(TaThreadPool::HardwareWorkers(), 1u);
+}
+
+// ---------------------------------------------------- fork / merge ---------
+
+TEST(OpContextForkTest, ForkZeroesCountersAndMergeAdds) {
+  TaOpContext parent;
+  parent.counters.rules_scanned = 100;
+  parent.counters.checkpoints = 7;
+
+  TaOpContext child = parent.Fork();
+  EXPECT_EQ(child.counters.rules_scanned, 0u);
+  EXPECT_EQ(child.budgets.num_threads, 1u) << "shares must not re-fan-out";
+  child.counters.rules_scanned = 25;
+  child.counters.states_materialized = 3;
+  ASSERT_TRUE(child.Checkpoint().ok());
+
+  parent.MergeChild(child);
+  EXPECT_EQ(parent.counters.rules_scanned, 125u);
+  EXPECT_EQ(parent.counters.states_materialized, 3u);
+  EXPECT_EQ(parent.counters.checkpoints, 8u);
+  EXPECT_FALSE(parent.interrupted());
+}
+
+TEST(OpContextForkTest, MergeAdoptsFirstChildInterrupt) {
+  std::atomic<bool> cancel{true};
+  TaOpContext parent;
+
+  TaOpContext child = parent.Fork();
+  child.budgets.cancel = &cancel;
+  EXPECT_EQ(child.Checkpoint().code(), StatusCode::kCancelled);
+
+  parent.MergeChild(child);
+  EXPECT_TRUE(parent.interrupted());
+  EXPECT_EQ(parent.interrupt().code(), StatusCode::kCancelled);
+}
+
+TEST(OpContextForkTest, InterruptedParentForksInterruptedChildren) {
+  std::atomic<bool> cancel{true};
+  TaOpContext parent;
+  parent.budgets.cancel = &cancel;
+  EXPECT_FALSE(parent.Checkpoint().ok());
+
+  TaOpContext child = parent.Fork();
+  EXPECT_TRUE(child.interrupted()) << "a share forked after cancellation "
+                                      "must drain immediately";
+  EXPECT_EQ(child.interrupt().code(), StatusCode::kCancelled);
+}
+
+// ----------------------------------- serial vs parallel intersection -------
+
+// Dense enough that the product clears the parallel gate (>= 256 total
+// rules) and has a rich reachable pair space.
+Nbta DenseAutomaton(const RankedAlphabet& sigma, uint64_t seed) {
+  Rng rng(seed);
+  RandomNbtaOptions o;
+  // Expected binary rules ≈ symbols * states^2 * density ≈ 200 per
+  // automaton, so a pair of these clears the 256-rule parallel gate.
+  o.num_states = 12;
+  o.rule_density = 0.7;
+  o.leaf_density = 0.6;
+  o.accepting_density = 0.4;
+  return RandomNbta(sigma, rng, o);
+}
+
+Nbta IntersectWithThreads(const Nbta& a, const Nbta& b, uint32_t threads,
+                          TaOpContext* out_ctx = nullptr) {
+  TaOpContext ctx;
+  ctx.budgets.num_threads = threads;
+  Nbta product = IntersectNbta(NbtaIndex(a), NbtaIndex(b), &ctx);
+  EXPECT_FALSE(ctx.interrupted());
+  if (out_ctx != nullptr) *out_ctx = ctx;
+  return product;
+}
+
+TEST(ParallelIntersectTest, LanguageEqualAcrossSeedsAndThreadCounts) {
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+  const std::vector<BinaryTree> trees = AllTreesUpToNodes(sigma, 7, 500);
+  ASSERT_FALSE(trees.empty());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Nbta a = DenseAutomaton(sigma, 0x5eed0000 + seed);
+    const Nbta b = DenseAutomaton(sigma, 0xb0b00000 + seed);
+    ASSERT_GE(a.rules.size() + b.rules.size(), 256u)
+        << "instance too sparse to exercise the sharded path";
+    const Nbta serial = IntersectWithThreads(a, b, 1);
+    for (uint32_t threads : {2u, 4u}) {
+      const Nbta parallel = IntersectWithThreads(a, b, threads);
+      ASSERT_TRUE(parallel.Validate(sigma).ok());
+      EXPECT_EQ(parallel.num_states, serial.num_states)
+          << "pair spaces diverged (seed " << seed << ", threads " << threads
+          << ")";
+      EXPECT_EQ(parallel.rules.size(), serial.rules.size());
+      // Language equality through the reference membership oracle alone:
+      // the product must accept exactly the trees both operands accept.
+      for (const BinaryTree& t : trees) {
+        const bool expect = RefAccepts(a, t) && RefAccepts(b, t);
+        ASSERT_EQ(RefAccepts(parallel, t), expect)
+            << "seed " << seed << ", threads " << threads;
+        ASSERT_EQ(RefAccepts(serial, t), expect) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ParallelIntersectTest, CountersMergeAcrossThreadCounts) {
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+  const Nbta a = DenseAutomaton(sigma, 0x11);
+  const Nbta b = DenseAutomaton(sigma, 0x22);
+  TaOpContext serial_ctx;
+  TaOpContext parallel_ctx;
+  IntersectWithThreads(a, b, 1, &serial_ctx);
+  IntersectWithThreads(a, b, 4, &parallel_ctx);
+  EXPECT_EQ(serial_ctx.counters.intersections, 1u);
+  EXPECT_EQ(parallel_ctx.counters.intersections, 1u);
+  // Every (a-rule, b-rule) candidate is scanned the same number of times
+  // regardless of sharding: scans are driven per discovered pair, and the
+  // discovered pair set is schedule-independent.
+  EXPECT_EQ(parallel_ctx.counters.rules_scanned,
+            serial_ctx.counters.rules_scanned);
+  EXPECT_EQ(parallel_ctx.counters.states_materialized,
+            serial_ctx.counters.states_materialized);
+  EXPECT_GT(parallel_ctx.counters.checkpoints, 0u)
+      << "worker checkpoints must merge back into the parent";
+}
+
+TEST(ParallelIntersectTest, ExpiredDeadlineDrainsAllWorkers) {
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+  const Nbta a = DenseAutomaton(sigma, 0x33);
+  const Nbta b = DenseAutomaton(sigma, 0x44);
+  TaOpContext ctx;
+  ctx.budgets.num_threads = 4;
+  ctx.budgets.deadline = std::chrono::steady_clock::now();
+  ctx.budgets.checkpoint_stride = 1;
+  Nbta product = IntersectNbta(NbtaIndex(a), NbtaIndex(b), &ctx);
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_EQ(ctx.interrupt().code(), StatusCode::kDeadlineExceeded);
+  // The partial product is structurally sound even when drained early.
+  EXPECT_TRUE(product.Validate(sigma).ok());
+}
+
+TEST(ParallelIntersectTest, MidFlightCancellationDrainsPool) {
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+  // Large, near-total automata: the product has tens of thousands of pair
+  // scans, far more than the canceller's latency on any host.
+  Rng rng_a(0xaaaa), rng_b(0xbbbb);
+  RandomNbtaOptions big;
+  big.num_states = 24;
+  big.rule_density = 0.9;
+  big.leaf_density = 0.9;
+  big.accepting_density = 0.5;
+  const Nbta a = RandomNbta(sigma, rng_a, big);
+  const Nbta b = RandomNbta(sigma, rng_b, big);
+
+  std::atomic<bool> cancel{false};
+  TaOpContext ctx;
+  ctx.budgets.num_threads = 4;
+  ctx.budgets.cancel = &cancel;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cancel.store(true, std::memory_order_relaxed);
+  });
+  Nbta product = IntersectNbta(NbtaIndex(a), NbtaIndex(b), &ctx);
+  canceller.join();
+
+  // Either the cancellation landed mid-flight (the interesting case: every
+  // worker drained, the sticky kCancelled merged back) or the product beat
+  // the canceller; both must leave a consistent context and a sound result.
+  if (ctx.interrupted()) {
+    EXPECT_EQ(ctx.interrupt().code(), StatusCode::kCancelled);
+    // The worker that observed the flag checkpointed (and merged back);
+    // rules_scanned may legitimately be zero if the flag landed before the
+    // first expansion (e.g. under sanitizer slowdown).
+    EXPECT_GT(ctx.counters.checkpoints, 0u);
+  } else {
+    EXPECT_EQ(product.num_states,
+              IntersectWithThreads(a, b, 1).num_states);
+    EXPECT_GT(ctx.counters.rules_scanned, 0u);
+  }
+  EXPECT_TRUE(product.Validate(sigma).ok());
+  EXPECT_EQ(ctx.counters.intersections, 1u);
+}
+
+TEST(ParallelIntersectTest, CancelledBeforeStartProducesEmptyDrain) {
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+  const Nbta a = DenseAutomaton(sigma, 0x55);
+  const Nbta b = DenseAutomaton(sigma, 0x66);
+  std::atomic<bool> cancel{true};
+  TaOpContext ctx;
+  ctx.budgets.num_threads = 4;
+  ctx.budgets.cancel = &cancel;
+  Nbta product = IntersectNbta(NbtaIndex(a), NbtaIndex(b), &ctx);
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_EQ(ctx.interrupt().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(product.Validate(sigma).ok());
+}
+
+// --------------------------------------------- sharded diffcheck sweep -----
+
+TEST(ParallelDiffcheckTest, ShardedSweepMatchesSerialSweep) {
+  DiffcheckOptions opts;
+  opts.seed = 0xd1ff;
+  opts.iters = 24;
+  opts.typecheck_every = 8;
+  opts.num_threads = 1;
+  const DiffcheckReport serial = RunDiffcheck(opts);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(serial.worker_ranges.empty());
+
+  opts.num_threads = 3;
+  const DiffcheckReport sharded = RunDiffcheck(opts);
+  EXPECT_TRUE(sharded.ok());
+  // Iterations are deterministic in (seed, iteration) alone, so the sharded
+  // sweep performs exactly the serial sweep's work.
+  EXPECT_EQ(sharded.iterations, serial.iterations);
+  EXPECT_EQ(sharded.comparisons, serial.comparisons);
+  EXPECT_EQ(sharded.budget_skips, serial.budget_skips);
+  ASSERT_EQ(sharded.worker_ranges.size(), 3u);
+  size_t covered = 0;
+  size_t expect_start = opts.start;
+  for (const auto& r : sharded.worker_ranges) {
+    EXPECT_EQ(r.start, expect_start) << "ranges must be contiguous";
+    expect_start += r.iters;
+    covered += r.iters;
+  }
+  EXPECT_EQ(covered, opts.iters);
+}
+
+TEST(ParallelDiffcheckTest, ThreadCapDoesNotExceedIterations) {
+  DiffcheckOptions opts;
+  opts.seed = 0xd1ff;
+  opts.iters = 2;
+  opts.typecheck_every = 0;
+  opts.demorgan_every = 0;
+  opts.num_threads = 16;
+  const DiffcheckReport r = RunDiffcheck(opts);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_EQ(r.worker_ranges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pebbletc

@@ -39,6 +39,9 @@ void PrintUsage() {
                "  --demorgan_every=N  heavy complement-of-product cadence, "
                "0=off (default 4)\n"
                "  --max_det_states=N  determinization budget (default 50000)\n"
+               "  --threads=N         sweep workers; 0=hardware concurrency "
+               "(default 1). Iterations stay deterministic in (seed, "
+               "iteration), so failures replay with --threads=1\n"
                "  --no-shrink         report unshrunk witnesses\n",
                static_cast<unsigned long long>(
                    pebbletc::DiffcheckOptions{}.seed));
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       opts.demorgan_every = static_cast<size_t>(v);
     } else if (ParseU64(arg, "--max_det_states", &v)) {
       opts.max_det_states = static_cast<size_t>(v);
+    } else if (ParseU64(arg, "--threads", &v)) {
+      opts.num_threads = static_cast<uint32_t>(v);
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       opts.shrink = false;
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
     std::printf(" (+%zu suppressed repeats)", report.suppressed_failures);
   }
   std::printf("\n");
+  for (const auto& r : report.worker_ranges) {
+    std::printf("ta_diffcheck:   worker %u ran --start=%zu --iters=%zu\n",
+                r.worker, r.start, r.iters);
+  }
 
   for (const pebbletc::DiffcheckFailure& f : report.failures) {
     std::printf("\n=== FAILURE: %s (iteration %zu, seed %llu) ===\n%s\n",
