@@ -24,7 +24,9 @@
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta.h"
 #include "src/ta/nbta_index.h"
+#include "src/ta/op_cache.h"
 #include "src/ta/op_context.h"
+#include "src/ta/serialize.h"
 #include "src/ta/random_ta.h"
 #include "src/ta/thread_pool.h"
 #include "src/ta/topdown.h"
@@ -158,6 +160,14 @@ class Harness {
         shared_failures_(shared_failures),
         base_(DiffcheckAlphabet(false)),
         ext_(DiffcheckAlphabet(true)) {
+    if (opts_.memo) {
+      memo_cache_.emplace(opts_.memo_mb << 20);
+      if (!opts_.memo_dir.empty()) {
+        // Attach failures are not law violations; the in-memory cache still
+        // exercises every cached-vs-cold law.
+        (void)memo_cache_->AttachPersistentDir(opts_.memo_dir);
+      }
+    }
     exhaustive_base_ = AllTreesUpToNodes(base_, opts_.exhaustive_max_nodes,
                                          kExhaustiveCap, &trunc_base_);
     exhaustive_ext_ = AllTreesUpToNodes(ext_, opts_.exhaustive_max_nodes,
@@ -303,6 +313,10 @@ class Harness {
   }
 
   void RunIteration(size_t iter);
+  void CheckMemo(size_t iter, bool extended, const Nbta& a, const Nbta& b,
+                 const std::optional<Nbta>& cold_comp, const Nbta& cold_inter,
+                 const std::vector<BinaryTree>& exhaustive,
+                 const std::vector<BinaryTree>& samples);
   void CheckEncodeDecode(size_t iter, Rng& rng);
   void CheckRelabelInverse(size_t iter, const Nbta& a);
   void CheckRelabelImage(size_t iter, const Nbta& a);
@@ -342,6 +356,10 @@ class Harness {
   bool trunc_base_ = false;
   bool trunc_ext_ = false;
   std::set<std::string> failed_laws_;
+  /// Harness-owned op cache for the memo laws; persists across this worker's
+  /// iterations, so later iterations genuinely hit entries inserted by
+  /// earlier ones (the content-addressed trust the laws arbitrate).
+  std::optional<TaOpCache> memo_cache_;
 };
 
 void Harness::RunIteration(size_t iter) {
@@ -740,6 +758,10 @@ void Harness::RunIteration(size_t iter) {
     }
   }
 
+  if (opts_.memo) {
+    CheckMemo(iter, extended, a, b, comp_a, inter, exhaustive, samples);
+  }
+
   CheckCounts(iter, extended, a, det_a, exhaustive, truncated);
   CheckEnumerate(iter, extended, a, exhaustive, truncated);
   CheckEncodeDecode(iter, rng);
@@ -750,6 +772,148 @@ void Harness::RunIteration(size_t iter) {
   }
   if (opts_.infer_every != 0 && iter % opts_.infer_every == 0) {
     CheckInferInverse(iter, rng);
+  }
+}
+
+void Harness::CheckMemo(size_t iter, bool extended, const Nbta& a,
+                        const Nbta& b, const std::optional<Nbta>& cold_comp,
+                        const Nbta& cold_inter,
+                        const std::vector<BinaryTree>& exhaustive,
+                        const std::vector<BinaryTree>& samples) {
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+  NbtaIndex idx_a(a);
+  NbtaIndex idx_b(b);
+  // Byte-exactness demands serial ops: the parallel product's state
+  // numbering is schedule-dependent (docs/PARALLEL.md).
+  auto memo_ctx = [this] {
+    TaOpContext ctx = BudgetCtx(opts_);
+    ctx.budgets.memo = TaMemoMode::kInMemory;
+    ctx.budgets.num_threads = 1;
+    return ctx;
+  };
+
+  // Laws "memo/replay-exact" and "memo/accounting": against a fresh cache,
+  // the same call must run cold, insert, then hit — and the hit must return
+  // the byte-identical automaton with exact hit/miss/byte accounting.
+  if (!LawDone("memo/replay-exact") || !LawDone("memo/accounting")) {
+    TaOpCache fresh(4ull << 20);
+    const TaAlgebra alg(&fresh);
+    bool exact = true;
+    bool skipped = false;
+    size_t hits = 0, misses = 0, bytes = 0;
+    auto absorb = [&](const TaOpContext& ctx) {
+      hits += ctx.counters.memo_hits;
+      misses += ctx.counters.memo_misses;
+      bytes += ctx.counters.memo_bytes;
+    };
+    {
+      TaOpContext ctx = memo_ctx();
+      auto c1 = alg.Complement(idx_a, sigma, &ctx);
+      auto c2 = alg.Complement(idx_a, sigma, &ctx);
+      absorb(ctx);
+      if (c1.ok() && c2.ok()) {
+        std::string x, y;
+        SerializeNbta(*c1, &x);
+        SerializeNbta(*c2, &y);
+        exact = exact && x == y;
+      } else {
+        skipped = true;
+        ++report_.budget_skips;
+      }
+    }
+    {
+      TaOpContext ctx = memo_ctx();
+      auto d1 = alg.Determinize(idx_a, sigma, &ctx);
+      auto d2 = alg.Determinize(idx_a, sigma, &ctx);
+      absorb(ctx);
+      if (d1.ok() && d2.ok()) {
+        std::string x, y;
+        SerializeDbta(*d1, &x);
+        SerializeDbta(*d2, &y);
+        exact = exact && x == y;
+      } else {
+        skipped = true;
+        ++report_.budget_skips;
+      }
+    }
+    {
+      TaOpContext ctx = memo_ctx();
+      Nbta i1 = alg.Intersect(idx_a, idx_b, &ctx);
+      Nbta i2 = alg.Intersect(idx_a, idx_b, &ctx);
+      absorb(ctx);
+      std::string x, y;
+      SerializeNbta(i1, &x);
+      SerializeNbta(i2, &y);
+      exact = exact && x == y;
+    }
+    if (!LawDone("memo/replay-exact")) {
+      ++report_.comparisons;
+      if (!exact) {
+        FailTree2("memo/replay-exact", iter, extended, a, b, BinaryTree(),
+                  "replaying an op through a fresh cache returns the "
+                  "byte-identical automaton",
+                  Pred2());
+      }
+    }
+    if (!LawDone("memo/accounting") && !skipped) {
+      ++report_.comparisons;
+      // Three ops, each called twice: 3 cold misses, 3 warm hits, and at
+      // least one payload byte charged.
+      if (hits != 3 || misses != 3 || bytes == 0) {
+        std::ostringstream detail;
+        detail << "fresh-cache miss/hit accounting: want 3 hits / 3 misses / "
+               << "bytes > 0, got " << hits << " / " << misses << " / "
+               << bytes;
+        FailTree2("memo/accounting", iter, extended, a, b, BinaryTree(),
+                  detail.str(), Pred2());
+      }
+    }
+  }
+
+  // Law "memo/lang": ops served through the harness cache — which persists
+  // across iterations, so a warm result may come from an entry inserted by a
+  // *different* structurally-equivalent operand — must agree on language
+  // with this iteration's cold results.
+  if (!LawDone("memo/lang") && memo_cache_.has_value()) {
+    const TaAlgebra halg(&*memo_cache_);
+    std::optional<Nbta> warm_comp;
+    {
+      TaOpContext ctx = memo_ctx();
+      auto c = halg.Complement(idx_a, sigma, &ctx);
+      if (c.ok()) {
+        warm_comp = *std::move(c);
+      } else {
+        ++report_.budget_skips;
+      }
+    }
+    TaOpContext ctx = memo_ctx();
+    const Nbta warm_inter = halg.Intersect(idx_a, idx_b, &ctx);
+    std::optional<NbtaIndex> idx_wc;
+    if (warm_comp && cold_comp) idx_wc.emplace(*warm_comp);
+    NbtaIndex idx_wi(warm_inter);
+    NbtaIndex idx_ci(cold_inter);
+    std::optional<NbtaIndex> idx_cc;
+    if (warm_comp && cold_comp) idx_cc.emplace(*cold_comp);
+    auto trees = [&](size_t k) -> const BinaryTree& {
+      return k < exhaustive.size() ? exhaustive[k]
+                                   : samples[k - exhaustive.size()];
+    };
+    const size_t n_trees = exhaustive.size() + samples.size();
+    for (size_t k = 0; k < n_trees; k += kProbeStride) {
+      const BinaryTree& t = trees(k);
+      ++report_.comparisons;
+      const bool inter_ok =
+          NbtaAccepts(idx_wi, t) == NbtaAccepts(idx_ci, t);
+      const bool comp_ok =
+          !idx_wc || NbtaAccepts(*idx_wc, t) == NbtaAccepts(*idx_cc, t);
+      if (!inter_ok || !comp_ok) {
+        FailTree2("memo/lang", iter, extended, a, b, t,
+                  "cache-served complement/intersection agrees on language "
+                  "with the cold op",
+                  Pred2());
+        return;
+      }
+    }
   }
 }
 
@@ -1008,6 +1172,33 @@ void Harness::CheckTypechecker(size_t iter, Rng& rng) {
   Result<Nbta> refcomp2 = RefComplement(tau2, base_);
   PEBBLETC_CHECK(refcomp2.ok()) << "RefComplement on a <=4-state automaton";
   const bool ref_included = RefIsEmpty(RefIntersect(tau1, *refcomp2));
+
+  // Law "memo/verdict": the whole pipeline re-run with the op cache enabled
+  // (the process-wide cache the production facade uses) must reach the same
+  // verdict as the cold run.
+  if (opts_.memo && !LawDone("memo/verdict")) {
+    TypecheckOptions warm_opts = TcOptions();
+    warm_opts.memo = TaMemoMode::kInMemory;
+    Result<TypecheckResult> wres = tc.Typecheck(tau1, tau2, warm_opts);
+    ++report_.comparisons;
+    if (!wres.ok()) {
+      Fail("memo/verdict", iter,
+           "Typecheck under --memo failed outright: " +
+               wres.status().ToString(),
+           Repro("memo/verdict", iter, false, &tau1, &tau2, nullptr,
+                 "memo and cold runs return the same verdict"));
+    } else if (wres->exhausted.exhausted || res->exhausted.exhausted) {
+      // A deadline cut on either side makes the verdicts incomparable.
+      ++report_.budget_skips;
+    } else if (wres->verdict != res->verdict) {
+      Fail("memo/verdict", iter,
+           "Typecheck verdict changed under --memo (cold " +
+               std::to_string(static_cast<int>(res->verdict)) + ", memo " +
+               std::to_string(static_cast<int>(wres->verdict)) + ")",
+           Repro("memo/verdict", iter, false, &tau1, &tau2, nullptr,
+                 "memo and cold runs return the same verdict"));
+    }
+  }
 
   Pred2 violated = [this](const Nbta& c1, const Nbta& c2, const BinaryTree&) {
     const PebbleTransducer ccopy = MakeCopyTransducer(base_);

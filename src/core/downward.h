@@ -25,6 +25,12 @@ namespace pebbletc {
 /// stay/down-left/down-right moves.
 bool IsDownwardTransducer(const PebbleTransducer& t);
 
+/// Exact FNV-1a fingerprint of a transducer's transition table — the
+/// transducer operand of the downward-product and pipeline cache keys
+/// (docs/CACHING.md). Transducers are parsed structures, never products of
+/// parallel ops, so representation hashing is canonical here.
+uint64_t TransducerFingerprint(const PebbleTransducer& t);
+
 /// Builds a (deterministic, reachable-subset) bottom-up automaton over the
 /// input alphabet accepting { t | T(t) ∩ inst(D) ≠ ∅ }, using the same
 /// frontier discipline as DeterminizeNbta (docs/DETERMINIZE.md): each

@@ -15,6 +15,7 @@
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
 #include "src/ta/nbta_index.h"
+#include "src/ta/op_cache.h"
 #include "src/ta/thread_pool.h"
 #include "src/ta/topdown.h"
 #include "src/tree/random_tree.h"
@@ -38,6 +39,7 @@ TaOpContext MakeContext(const TypecheckOptions& options) {
   budgets.cancel = options.cancel;
   budgets.checkpoint_stride = options.checkpoint_stride;
   budgets.num_threads = options.num_threads;
+  budgets.memo = options.memo;
   TaOpContext ctx(budgets);
   ctx.fault = options.fault_injector;
   return ctx;
@@ -70,7 +72,10 @@ Result<bool> Typechecker::CheckOnInputImpl(
       BuildOutputAutomaton(transducer_, input, ctx->budgets.max_configs, ctx));
   Nbta outputs = TopDownToNbta(a_t.automaton, ctx);
   // The intersection's worklist only materializes inhabited product states,
-  // so the witness search runs on it directly (no extra trim needed).
+  // so the witness search runs on it directly (no extra trim needed). The
+  // per-input product deliberately bypasses the op cache: every enumerated
+  // tree yields a distinct operand, so entries would never be re-hit
+  // (docs/CACHING.md).
   Nbta bad = IntersectNbta(NbtaIndex(outputs, ctx), not_tau2, ctx);
   std::optional<BinaryTree> witness = WitnessTree(NbtaIndex(bad, ctx), ctx);
   if (witness.has_value()) {
@@ -88,10 +93,11 @@ Result<bool> Typechecker::CheckOnInput(
     const TypecheckOptions& options,
     std::optional<BinaryTree>* violating_output) const {
   TaOpContext ctx = MakeContext(options);
+  const TaAlgebra alg;
   if (TaEffectiveThreads(&ctx) < 2) {
     PEBBLETC_ASSIGN_OR_RETURN(
         Nbta not_tau2,
-        ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
+        alg.Complement(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
     Nbta trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
     return CheckOnInputImpl(input, NbtaIndex(trimmed, &ctx), &ctx,
                             violating_output);
@@ -107,7 +113,7 @@ Result<bool> Typechecker::CheckOnInput(
   TaThreadPool::Instance().Run(2, [&](uint32_t w) {
     if (w == 0) {
       auto complement =
-          ComplementNbta(NbtaIndex(output_type, &c0), output_alphabet_, &c0);
+          alg.Complement(NbtaIndex(output_type, &c0), output_alphabet_, &c0);
       if (!complement.ok()) {
         not_tau2_or = complement.status();
         return;
@@ -178,16 +184,17 @@ Result<Nbta> Typechecker::BadInputsAutomaton(const Nbta& not_tau2_trimmed,
 Result<Nbta> Typechecker::InferInverseType(
     const Nbta& output_type, const TypecheckOptions& options) const {
   TaOpContext ctx = MakeContext(options);
+  const TaAlgebra alg;
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta not_tau2,
-      ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
+      alg.Complement(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx));
   Nbta not_tau2_trimmed = TrimNbta(NbtaIndex(not_tau2, &ctx), &ctx);
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta bad,
       BadInputsAutomaton(not_tau2_trimmed, options, nullptr, nullptr, &ctx));
   PEBBLETC_ASSIGN_OR_RETURN(
       Nbta inverse,
-      ComplementNbta(NbtaIndex(bad, &ctx), input_alphabet_, &ctx));
+      alg.Complement(NbtaIndex(bad, &ctx), input_alphabet_, &ctx));
   Nbta trimmed = TrimNbta(NbtaIndex(inverse, &ctx), &ctx);
   // A partially trimmed inverse type would under-approximate τ2⁻¹ silently;
   // fail instead.
@@ -204,7 +211,41 @@ Result<TypecheckResult> Typechecker::Typecheck(
   PEBBLETC_RETURN_IF_ERROR(output_type.Validate(output_alphabet_));
 
   TaOpContext ctx = MakeContext(options);
+  const TaAlgebra alg;
   TypecheckResult result;
+
+  // Composite warm fast path (docs/CACHING.md): a prior run of the same
+  // (τ1, τ2, transducer, caps) downward decision cached its pass-2 offending
+  // product under a key of the *input* hashes, so a repeat decision probes
+  // with two small hashes instead of recomputing — or even re-hashing — the
+  // complement/determinize/product chain's large intermediates. A hit with
+  // no witness is a complete kTypechecks verdict (pass 2 is exact, so the
+  // skipped refutation pass could only have agreed); a hit with a witness
+  // falls through to the cold pipeline, which recovers the violating output
+  // through the same per-op caches.
+  std::optional<TaCacheKey> pipeline_key;
+  if (TaAlgebra::Enabled(&ctx) && IsDownwardTransducer(transducer_)) {
+    pipeline_key = MakeTaCacheKey(
+        TaOpKind::kPipelineOffending, NbtaStructuralHash(input_type),
+        NbtaStructuralHash(output_type),
+        TaMixFingerprints(
+            TaMixFingerprints(RankedAlphabetFingerprint(input_alphabet_),
+                              RankedAlphabetFingerprint(output_alphabet_)),
+            TransducerFingerprint(transducer_)),
+        TaMixFingerprints(ctx.budgets.max_det_states,
+                          ctx.budgets.fastpath_max_states));
+    if (std::shared_ptr<const Nbta> offending =
+            alg.cache()->FindNbta(*pipeline_key, &ctx)) {
+      std::optional<BinaryTree> witness =
+          WitnessTree(NbtaIndex(*offending, &ctx), &ctx);
+      if (!witness.has_value() && TaInterruptStatus(&ctx).ok()) {
+        result.verdict = TypecheckVerdict::kTypechecks;
+        result.method = "downward-fastpath";
+        result.op_counters = ctx.counters;
+        return result;
+      }
+    }
+  }
 
   // Records the first budget/deadline/cancellation hit (later ones only
   // append to the notes) and keeps the ladder descending.
@@ -232,7 +273,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
     std::vector<BinaryTree> inputs;
     TaThreadPool::Instance().Run(2, [&](uint32_t w) {
       if (w == 0) {
-        complement_or = ComplementNbta(NbtaIndex(output_type, &c0),
+        complement_or = alg.Complement(NbtaIndex(output_type, &c0),
                                        output_alphabet_, &c0);
       } else {
         inputs =
@@ -247,7 +288,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
     enumerated = std::move(inputs);
   } else {
     complement_or =
-        ComplementNbta(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
+        alg.Complement(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
   }
   Result<Nbta>& not_tau2_or = *complement_or;
   if (!not_tau2_or.ok()) {
@@ -294,12 +335,15 @@ Result<TypecheckResult> Typechecker::Typecheck(
   if (IsDownwardTransducer(transducer_)) {
     auto verdict = [&]() -> Result<TypecheckResult> {
       PEBBLETC_ASSIGN_OR_RETURN(
-          Dbta d, DeterminizeNbta(not_tau2_idx, output_alphabet_, &ctx));
+          Dbta d, alg.Determinize(not_tau2_idx, output_alphabet_, &ctx));
       PEBBLETC_ASSIGN_OR_RETURN(
           Nbta bad_inputs,
           DownwardProductAutomaton(transducer_, d, input_alphabet_, &ctx));
-      Nbta offending = IntersectNbta(NbtaIndex(input_type, &ctx),
+      Nbta offending = alg.Intersect(NbtaIndex(input_type, &ctx),
                                      NbtaIndex(bad_inputs, &ctx), &ctx);
+      if (pipeline_key.has_value() && TaInterruptStatus(&ctx).ok()) {
+        alg.cache()->InsertNbta(*pipeline_key, offending, &ctx);
+      }
       TypecheckResult r;
       r.method = "downward-fastpath";
       std::optional<BinaryTree> witness =
@@ -340,7 +384,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
     auto bad = BadInputsAutomaton(not_tau2, options, &result.mso_stats,
                                   &method, &ctx);
     if (bad.ok()) {
-      Nbta offending = IntersectNbta(NbtaIndex(input_type, &ctx),
+      Nbta offending = alg.Intersect(NbtaIndex(input_type, &ctx),
                                      NbtaIndex(*bad, &ctx), &ctx);
       std::optional<BinaryTree> witness =
           WitnessTree(NbtaIndex(offending, &ctx), &ctx);

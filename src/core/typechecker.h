@@ -59,6 +59,13 @@ struct TypecheckOptions {
   /// (see MsoCompileOptions::minimize_intermediate). Slower per step, but
   /// caps the state blowup feeding later complementations.
   bool minimize_intermediate = false;
+  /// Content-addressed op cache (docs/CACHING.md). kOff (the default)
+  /// preserves the legacy cold path bit-for-bit — the serial oracle and the
+  /// fault-injection harness rely on that. kInMemory serves repeated algebra
+  /// ops (complement(τ2), determinizations, the bad-input intersections)
+  /// from the process-wide TaOpCache; kPersistent is the same plus whatever
+  /// directory the caller attached via TaOpCache::Global().
+  TaMemoMode memo = TaMemoMode::kOff;
 
   // --- execution control (threaded into the shared TaOpContext) ---
 

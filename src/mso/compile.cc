@@ -10,6 +10,7 @@
 #include "src/common/check.h"
 #include "src/mso/track_alphabet.h"
 #include "src/ta/nbta_index.h"
+#include "src/ta/op_cache.h"
 
 namespace pebbletc {
 
@@ -66,9 +67,9 @@ class Compiler {
   // the minimized form is only adopted when it actually has fewer states
   // (the completed DBTA's sink can make tiny automata grow).
   void MaybeMinimize(Nbta* a) {
-    auto det = DeterminizeNbta(NbtaIndex(*a, ctx_), ext_.ranked(), ctx_);
+    auto det = alg_.Determinize(NbtaIndex(*a, ctx_), ext_.ranked(), ctx_);
     if (!det.ok()) return;
-    auto min = MinimizeDbta(*det, ext_.ranked(), ctx_);
+    auto min = alg_.Minimize(*det, ext_.ranked(), ctx_);
     if (!min.ok()) return;
     Nbta reduced =
         TrimNbta(NbtaIndex(min->ToNbta(ext_.ranked()), ctx_), ctx_);
@@ -210,7 +211,9 @@ class Compiler {
     return a;
   }
 
-  // Intersection of two freshly built primitive automata.
+  // Intersection of two freshly built primitive automata. Stays off the op
+  // cache: primitives have a handful of states, so the product is cheaper
+  // than hashing it (docs/CACHING.md).
   Nbta IntersectFresh(Nbta l, Nbta r) {
     return IntersectNbta(NbtaIndex(l, ctx_), NbtaIndex(r, ctx_), ctx_);
   }
@@ -262,7 +265,7 @@ class Compiler {
       case K::kNot: {
         PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr inner, Compile(f->left()));
         if (options_.stats != nullptr) options_.stats->complementations++;
-        auto comp = ComplementNbta(inner->index, ext_.ranked(), ctx_);
+        auto comp = alg_.Complement(inner->index, ext_.ranked(), ctx_);
         if (!comp.ok()) return comp.status();
         // Complement may accept ill-marked trees; re-impose singleton
         // validity for the free first-order variables.
@@ -276,7 +279,7 @@ class Compiler {
       case K::kAnd: {
         PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr l, Compile(f->left()));
         PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr r, Compile(f->right()));
-        return IntersectNbta(l->index, r->index, ctx_);
+        return alg_.Intersect(l->index, r->index, ctx_);
       }
       case K::kOr: {
         PEBBLETC_ASSIGN_OR_RETURN(CompiledPtr l, Compile(f->left()));
@@ -307,6 +310,11 @@ class Compiler {
   const TrackAlphabet& ext_;
   MsoCompileOptions options_;
   TaOpContext* ctx_;
+  // Dispatch for the expensive ops (complement, ∧-product, determinize,
+  // minimize). The AST-pointer cache_ above dedupes shared subformulas of
+  // *this* sentence; the algebra's content-addressed cache additionally spans
+  // sentences and processes (docs/CACHING.md).
+  const TaAlgebra alg_;
   std::unordered_map<const MsoFormula*, CompiledPtr> cache_;
   std::unordered_map<const MsoFormula*, std::set<MsoVarId>> free_cache_;
 };

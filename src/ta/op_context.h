@@ -50,6 +50,19 @@
 
 namespace pebbletc {
 
+/// Memoization policy for the content-addressed op cache (docs/CACHING.md).
+enum class TaMemoMode : uint8_t {
+  /// Every op computes cold. The default: the serial oracle, the
+  /// fault-injection harness, and all legacy callers see exactly the
+  /// pre-cache behavior.
+  kOff = 0,
+  /// Probe/populate the in-process TaOpCache.
+  kInMemory = 1,
+  /// As kInMemory, with entries persisted to the cache's attached directory
+  /// so hot artifacts survive across processes.
+  kPersistent = 2,
+};
+
 /// All resource budgets consumed by the automaton layer. 0 = unlimited.
 struct TaOpBudgets {
   /// States per determinization / subset construction (complement,
@@ -82,6 +95,11 @@ struct TaOpBudgets {
   /// injector always runs serial regardless (injection ordinals must stay
   /// deterministic); see TaEffectiveThreads in src/ta/thread_pool.h.
   uint32_t num_threads = 0;
+  /// Content-addressed memoization of expensive ops through TaAlgebra
+  /// (docs/CACHING.md). Off by default; a context carrying a fault injector
+  /// is always served cold regardless, so injection ordinals and unwind
+  /// paths stay deterministic.
+  TaMemoMode memo = TaMemoMode::kOff;
 };
 
 /// Counters accumulated across every operation run under one context.
@@ -117,6 +135,14 @@ struct TaOpCounters {
   uint64_t checkpoints = 0;
   /// Total wall time spent inside timed automaton operations.
   uint64_t op_nanos = 0;
+  /// Content-addressed op cache traffic (docs/CACHING.md): probes answered
+  /// from the cache, probes that fell through to a cold compute, entries
+  /// evicted by inserts issued under this context, and payload bytes this
+  /// context inserted.
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  size_t memo_evictions = 0;
+  size_t memo_bytes = 0;
 };
 
 /// Deterministic fault injection: trips the `trip_at`-th checkpoint observed
@@ -207,6 +233,10 @@ class TaOpContext {
     counters.indexes_built += child.counters.indexes_built;
     counters.checkpoints += child.counters.checkpoints;
     counters.op_nanos += child.counters.op_nanos;
+    counters.memo_hits += child.counters.memo_hits;
+    counters.memo_misses += child.counters.memo_misses;
+    counters.memo_evictions += child.counters.memo_evictions;
+    counters.memo_bytes += child.counters.memo_bytes;
     if (!interrupted_ && child.interrupted_) (void)SetInterrupt(child.interrupt_);
   }
 

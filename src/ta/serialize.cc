@@ -1,0 +1,197 @@
+#include "src/ta/serialize.h"
+
+#include <cstring>
+
+namespace pebbletc {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+void PutBits(const std::vector<bool>& bits, std::string* out) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) acc |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out->push_back(static_cast<char>(acc));
+      acc = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) out->push_back(static_cast<char>(acc));
+}
+
+// Bounds-checked little-endian reader over the input view.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU32(uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) {
+      return Status::ParseError("binary automaton truncated");
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+    *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadBits(size_t n, std::vector<bool>* bits) {
+    const size_t nbytes = (n + 7) / 8;
+    if (bytes_.size() - pos_ < nbytes) {
+      return Status::ParseError("binary automaton truncated");
+    }
+    bits->assign(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      const auto byte =
+          static_cast<unsigned char>(bytes_[pos_ + i / 8]);
+      (*bits)[i] = (byte >> (i % 8)) & 1;
+    }
+    // Spare bits in the final byte must be zero, so the encoding is unique
+    // and the payload checksum is well-defined.
+    if (n % 8 != 0) {
+      const auto last = static_cast<unsigned char>(bytes_[pos_ + nbytes - 1]);
+      if ((last >> (n % 8)) != 0) {
+        return Status::ParseError("nonzero padding in accepting bitset");
+      }
+    }
+    pos_ += nbytes;
+    return Status::OK();
+  }
+
+  Status Done() const {
+    if (pos_ != bytes_.size()) {
+      return Status::ParseError("trailing bytes after binary automaton");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void SerializeNbta(const Nbta& a, std::string* out) {
+  PutU32(a.num_states, out);
+  PutU32(a.num_symbols, out);
+  PutBits(a.accepting, out);
+  PutU32(static_cast<uint32_t>(a.leaf_rules.size()), out);
+  for (const Nbta::LeafRule& r : a.leaf_rules) {
+    PutU32(r.symbol, out);
+    PutU32(r.to, out);
+  }
+  PutU32(static_cast<uint32_t>(a.rules.size()), out);
+  for (const Nbta::BinaryRule& r : a.rules) {
+    PutU32(r.symbol, out);
+    PutU32(r.left, out);
+    PutU32(r.right, out);
+    PutU32(r.to, out);
+  }
+}
+
+void SerializeDbta(const Dbta& d, std::string* out) {
+  PutU32(d.num_states(), out);
+  PutU32(d.num_symbols(), out);
+  std::vector<bool> acc(d.num_states());
+  for (StateId q = 0; q < d.num_states(); ++q) acc[q] = d.accepting(q);
+  PutBits(acc, out);
+  for (SymbolId s = 0; s < d.num_symbols(); ++s) PutU32(d.LeafState(s), out);
+  for (SymbolId s = 0; s < d.num_symbols(); ++s) {
+    for (StateId l = 0; l < d.num_states(); ++l) {
+      for (StateId r = 0; r < d.num_states(); ++r) {
+        PutU32(d.Next(s, l, r), out);
+      }
+    }
+  }
+}
+
+Result<Nbta> DeserializeNbta(std::string_view bytes) {
+  Reader in(bytes);
+  Nbta a;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&a.num_states));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&a.num_symbols));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadBits(a.num_states, &a.accepting));
+  uint32_t n_leaf = 0;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&n_leaf));
+  a.leaf_rules.reserve(n_leaf);
+  for (uint32_t i = 0; i < n_leaf; ++i) {
+    Nbta::LeafRule r;
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.symbol));
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.to));
+    if (r.symbol >= a.num_symbols || r.to >= a.num_states) {
+      return Status::ParseError("leaf rule out of range");
+    }
+    a.leaf_rules.push_back(r);
+  }
+  uint32_t n_rules = 0;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&n_rules));
+  a.rules.reserve(n_rules);
+  for (uint32_t i = 0; i < n_rules; ++i) {
+    Nbta::BinaryRule r;
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.symbol));
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.left));
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.right));
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&r.to));
+    if (r.symbol >= a.num_symbols || r.left >= a.num_states ||
+        r.right >= a.num_states || r.to >= a.num_states) {
+      return Status::ParseError("binary rule out of range");
+    }
+    a.rules.push_back(r);
+  }
+  PEBBLETC_RETURN_IF_ERROR(in.Done());
+  return a;
+}
+
+Result<Dbta> DeserializeDbta(std::string_view bytes) {
+  Reader in(bytes);
+  uint32_t num_states = 0, num_symbols = 0;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&num_states));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&num_symbols));
+  if (num_states == 0) {
+    return Status::ParseError("deterministic automaton needs >= 1 state");
+  }
+  Dbta d(num_states, num_symbols);
+  std::vector<bool> acc;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadBits(num_states, &acc));
+  for (StateId q = 0; q < num_states; ++q) d.set_accepting(q, acc[q]);
+  for (SymbolId s = 0; s < num_symbols; ++s) {
+    uint32_t q = 0;
+    PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&q));
+    if (q >= num_states) return Status::ParseError("leaf state out of range");
+    d.SetLeafState(s, q);
+  }
+  for (SymbolId s = 0; s < num_symbols; ++s) {
+    for (StateId l = 0; l < num_states; ++l) {
+      for (StateId r = 0; r < num_states; ++r) {
+        uint32_t to = 0;
+        PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&to));
+        if (to >= num_states) {
+          return Status::ParseError("transition out of range");
+        }
+        d.SetNext(s, l, r, to);
+      }
+    }
+  }
+  PEBBLETC_RETURN_IF_ERROR(in.Done());
+  return d;
+}
+
+uint64_t TaPayloadChecksum(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace pebbletc

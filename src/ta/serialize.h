@@ -1,0 +1,44 @@
+// Binary (de)serialization for tree automata — the persistence substrate of
+// the content-addressed op cache (docs/CACHING.md) and the `--memo_dir`
+// cross-process artifact store.
+//
+// The layout (docs/FORMATS.md, "Binary automaton format") is a flat
+// little-endian dump of the in-memory representation: fixed-width u32 fields,
+// bit-packed accepting sets, rules in storage order. Deserialization
+// validates every structural invariant (state/symbol ranges, section sizes)
+// so a truncated or bit-flipped file fails with kParseError instead of
+// yielding an out-of-range automaton; the cache layer additionally verifies
+// an FNV-1a checksum over the payload before trusting a loaded entry.
+
+#ifndef PEBBLETC_TA_SERIALIZE_H_
+#define PEBBLETC_TA_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/ta/nbta.h"
+
+namespace pebbletc {
+
+/// Appends the binary encoding of `a` to `*out`.
+void SerializeNbta(const Nbta& a, std::string* out);
+
+/// Appends the binary encoding of `d` to `*out`.
+void SerializeDbta(const Dbta& d, std::string* out);
+
+/// Parses an automaton serialized by SerializeNbta. The whole string must be
+/// consumed; trailing bytes, truncation, or out-of-range ids are kParseError.
+Result<Nbta> DeserializeNbta(std::string_view bytes);
+
+/// Parses an automaton serialized by SerializeDbta (same contract).
+Result<Dbta> DeserializeDbta(std::string_view bytes);
+
+/// FNV-1a 64 over `bytes` — the checksum stored alongside persisted cache
+/// entries and re-verified on load.
+uint64_t TaPayloadChecksum(std::string_view bytes);
+
+}  // namespace pebbletc
+
+#endif  // PEBBLETC_TA_SERIALIZE_H_
