@@ -1,0 +1,2 @@
+template a { b { apply } }
+template c { d }

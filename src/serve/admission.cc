@@ -1,0 +1,76 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+
+namespace pebbletc::serve {
+
+AdmissionController::AdmissionController(uint32_t max_in_flight,
+                                         uint32_t max_queued)
+    : max_in_flight_(std::max(1u, max_in_flight)),
+      max_queued_(std::max(1u, max_queued)) {}
+
+void AdmissionController::Slot::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit(
+    std::chrono::milliseconds max_wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ < max_in_flight_) {
+    ++in_flight_;
+    ++total_admitted_;
+    return Slot(this);
+  }
+  if (queued_ >= max_queued_) {
+    ++total_rejected_;
+    return Status::ResourceExhausted(
+        "server overloaded: " + std::to_string(in_flight_) +
+        " requests in flight and the wait queue is full — back off and retry");
+  }
+  ++queued_;
+  const bool got_slot = slot_free_.wait_for(
+      lock, max_wait, [this] { return in_flight_ < max_in_flight_; });
+  --queued_;
+  if (!got_slot) {
+    ++total_rejected_;
+    return Status::ResourceExhausted(
+        "server overloaded: no slot freed within the admission grace "
+        "period — back off and retry");
+  }
+  ++in_flight_;
+  ++total_admitted_;
+  return Slot(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_free_.notify_one();
+}
+
+uint32_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+uint32_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+uint64_t AdmissionController::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_admitted_;
+}
+
+uint64_t AdmissionController::total_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_rejected_;
+}
+
+}  // namespace pebbletc::serve

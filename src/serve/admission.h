@@ -1,0 +1,86 @@
+// Admission control and overload shedding for the typecheck service
+// (docs/SERVING.md). A fixed pool of in-flight slots plus a bounded wait
+// queue: requests beyond the pool wait up to a configurable grace period,
+// and anything beyond pool + queue is rejected *immediately* with
+// kResourceExhausted (surfaced to clients as WireStatus::kOverloaded) so
+// callers learn to back off instead of piling onto a melting server. The
+// two failure modes this design forbids: queue-forever (every admitted
+// waiter has a bounded wait) and connection reset (rejection is a
+// structured response, produced by the dispatch layer).
+
+#ifndef PEBBLETC_SERVE_ADMISSION_H_
+#define PEBBLETC_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/result.h"
+
+namespace pebbletc::serve {
+
+class AdmissionController {
+ public:
+  /// `max_in_flight` slots execute concurrently; up to `max_queued` more
+  /// may wait for a slot. Both must be >= 1 (0 is clamped to 1).
+  AdmissionController(uint32_t max_in_flight, uint32_t max_queued);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII in-flight slot; releases (and wakes one waiter) on destruction.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Slot() { Release(); }
+
+    bool held() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Slot(AdmissionController* controller) : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Acquires a slot, waiting up to `max_wait` if the pool is full. Fails
+  /// with kResourceExhausted when the wait queue is itself full (instant
+  /// shed, no waiting) or when the grace period expires with the pool still
+  /// saturated.
+  Result<Slot> Admit(std::chrono::milliseconds max_wait);
+
+  /// Gauges and counters (for the kStats wire op and the soak's
+  /// leaked-slot assertion).
+  uint32_t in_flight() const;
+  uint32_t queued() const;
+  uint64_t total_admitted() const;
+  uint64_t total_rejected() const;
+
+ private:
+  void Release();
+
+  const uint32_t max_in_flight_;
+  const uint32_t max_queued_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  uint32_t in_flight_ = 0;
+  uint32_t queued_ = 0;
+  uint64_t total_admitted_ = 0;
+  uint64_t total_rejected_ = 0;
+};
+
+}  // namespace pebbletc::serve
+
+#endif  // PEBBLETC_SERVE_ADMISSION_H_

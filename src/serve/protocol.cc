@@ -1,0 +1,422 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+#include "src/common/status.h"
+
+namespace pebbletc::serve {
+namespace {
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+class Reader {
+ public:
+  Reader(std::string_view bytes, uint32_t max_field_bytes)
+      : bytes_(bytes), max_field_(max_field_bytes) {}
+
+  Status ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return Truncated();
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return Truncated();
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return Truncated();
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* v) {
+    uint8_t b = 0;
+    PEBBLETC_RETURN_IF_ERROR(ReadU8(&b));
+    if (b > 1) return Status::ParseError("wire bool out of {0, 1}");
+    *v = b != 0;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    PEBBLETC_RETURN_IF_ERROR(ReadU32(&len));
+    if (len > max_field_) {
+      return Status::ParseError("wire string field exceeds the frame cap");
+    }
+    if (pos_ + len > bytes_.size()) return Truncated();
+    out->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Done() const {
+    if (pos_ != bytes_.size()) {
+      return Status::ParseError("trailing bytes after wire message");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::ParseError("wire message truncated");
+  }
+
+  std::string_view bytes_;
+  uint32_t max_field_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kMalformedFrame: return "MALFORMED_FRAME";
+    case WireStatus::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case WireStatus::kUnknownOpcode: return "UNKNOWN_OPCODE";
+    case WireStatus::kValidationFailed: return "VALIDATION_FAILED";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kAlreadyExists: return "ALREADY_EXISTS";
+    case WireStatus::kOverloaded: return "OVERLOADED";
+    case WireStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireStatus::kCancelled: return "CANCELLED";
+    case WireStatus::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case WireStatus::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kInvalidArgument: return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeRequest(const Request& request, std::string* out) {
+  PutU8(request.header.version, out);
+  PutU8(static_cast<uint8_t>(request.header.opcode), out);
+  PutU32(request.header.request_id, out);
+  PutU32(request.header.deadline_ms, out);
+  std::visit(
+      [out](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ValidateRequest>) {
+          PutString(body.schema, out);
+          PutString(body.document, out);
+        } else if constexpr (std::is_same_v<T, TypecheckRequest>) {
+          PutString(body.transducer, out);
+          PutString(body.input_type, out);
+          PutString(body.output_type, out);
+        } else if constexpr (std::is_same_v<T, InferInverseRequest>) {
+          PutString(body.transducer, out);
+          PutString(body.output_type, out);
+        } else if constexpr (std::is_same_v<T, LoadArtifactRequest>) {
+          PutString(body.name, out);
+          PutString(body.artifact, out);
+        }
+        // Ping / ListArtifacts / Stats have empty bodies.
+      },
+      request.body);
+}
+
+Result<Request> DecodeRequest(std::string_view payload,
+                              uint32_t max_field_bytes) {
+  Reader in(payload, max_field_bytes);
+  Request request;
+  uint8_t opcode_byte = 0;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&request.header.version));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&opcode_byte));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&request.header.request_id));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&request.header.deadline_ms));
+  if (request.header.version != kWireVersion) {
+    return Status::ParseError("unsupported wire version " +
+                              std::to_string(request.header.version));
+  }
+  if (opcode_byte > kMaxOpcode) {
+    return Status::ParseError("unknown opcode " + std::to_string(opcode_byte));
+  }
+  request.header.opcode = static_cast<Opcode>(opcode_byte);
+  switch (request.header.opcode) {
+    case Opcode::kPing:
+      request.body = PingRequest{};
+      break;
+    case Opcode::kValidate: {
+      ValidateRequest body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.schema));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.document));
+      request.body = std::move(body);
+      break;
+    }
+    case Opcode::kTypecheck: {
+      TypecheckRequest body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.transducer));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.input_type));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.output_type));
+      request.body = std::move(body);
+      break;
+    }
+    case Opcode::kInferInverse: {
+      InferInverseRequest body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.transducer));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.output_type));
+      request.body = std::move(body);
+      break;
+    }
+    case Opcode::kLoadArtifact: {
+      LoadArtifactRequest body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.name));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.artifact));
+      request.body = std::move(body);
+      break;
+    }
+    case Opcode::kListArtifacts:
+      request.body = ListArtifactsRequest{};
+      break;
+    case Opcode::kStats:
+      request.body = StatsRequest{};
+      break;
+  }
+  PEBBLETC_RETURN_IF_ERROR(in.Done());
+  return request;
+}
+
+Result<RawRequestHeader> PeekRequestHeader(std::string_view payload) {
+  Reader in(payload, kMaxFrameBytes);
+  RawRequestHeader header;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&header.version));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&header.opcode_byte));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&header.request_id));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&header.deadline_ms));
+  return header;
+}
+
+void EncodeResponse(const Response& response, std::string* out) {
+  PutU8(response.header.version, out);
+  PutU8(static_cast<uint8_t>(response.header.opcode), out);
+  PutU32(response.header.request_id, out);
+  PutU8(static_cast<uint8_t>(response.header.status), out);
+  PutString(response.header.detail, out);
+  if (response.header.status != WireStatus::kOk) return;
+  std::visit(
+      [out](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ValidateResponse>) {
+          PutU8(body.valid ? 1 : 0, out);
+          PutString(body.diagnostic, out);
+        } else if constexpr (std::is_same_v<T, TypecheckResponse>) {
+          PutU8(body.verdict, out);
+          PutString(body.method, out);
+          PutU8(body.exhausted ? 1 : 0, out);
+          PutU8(body.exhaustion_code, out);
+          PutString(body.exhaustion_pass, out);
+          PutString(body.exhaustion_detail, out);
+          PutU64(body.checkpoints, out);
+          PutU64(body.states_materialized, out);
+          PutString(body.counterexample_input_xml, out);
+          PutString(body.counterexample_output_xml, out);
+        } else if constexpr (std::is_same_v<T, InferInverseResponse>) {
+          PutU32(body.num_states, out);
+          PutU32(body.num_leaf_rules, out);
+          PutU32(body.num_rules, out);
+          PutU64(body.checkpoints, out);
+        } else if constexpr (std::is_same_v<T, LoadArtifactResponse>) {
+          PutU8(body.kind, out);
+        } else if constexpr (std::is_same_v<T, ListArtifactsResponse>) {
+          PutU32(static_cast<uint32_t>(body.artifacts.size()), out);
+          for (const ArtifactInfo& info : body.artifacts) {
+            PutString(info.name, out);
+            PutU8(info.kind, out);
+          }
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          PutU64(body.requests_total, out);
+          PutU64(body.responses_ok, out);
+          PutU64(body.malformed_rejected, out);
+          PutU64(body.validation_rejected, out);
+          PutU64(body.overload_rejected, out);
+          PutU64(body.degraded_verdicts, out);
+          PutU64(body.hard_errors, out);
+          PutU64(body.faults_injected, out);
+          PutU32(body.in_flight, out);
+        }
+        // Ping has an empty body.
+      },
+      response.body);
+}
+
+Result<Response> DecodeResponse(std::string_view payload,
+                                uint32_t max_field_bytes) {
+  Reader in(payload, max_field_bytes);
+  Response response;
+  uint8_t opcode_byte = 0, status_byte = 0;
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&response.header.version));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&opcode_byte));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&response.header.request_id));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&status_byte));
+  PEBBLETC_RETURN_IF_ERROR(in.ReadString(&response.header.detail));
+  if (response.header.version != kWireVersion) {
+    return Status::ParseError("unsupported wire version");
+  }
+  if (opcode_byte > kMaxOpcode) {
+    return Status::ParseError("unknown opcode in response");
+  }
+  if (status_byte > static_cast<uint8_t>(WireStatus::kInvalidArgument)) {
+    return Status::ParseError("unknown wire status in response");
+  }
+  response.header.opcode = static_cast<Opcode>(opcode_byte);
+  response.header.status = static_cast<WireStatus>(status_byte);
+  if (response.header.status != WireStatus::kOk) {
+    PEBBLETC_RETURN_IF_ERROR(in.Done());
+    return response;
+  }
+  switch (response.header.opcode) {
+    case Opcode::kPing:
+      response.body = PingResponse{};
+      break;
+    case Opcode::kValidate: {
+      ValidateResponse body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadBool(&body.valid));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.diagnostic));
+      response.body = std::move(body);
+      break;
+    }
+    case Opcode::kTypecheck: {
+      TypecheckResponse body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&body.verdict));
+      if (body.verdict > 2) {
+        return Status::ParseError("typecheck verdict out of range");
+      }
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.method));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadBool(&body.exhausted));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&body.exhaustion_code));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.exhaustion_pass));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.exhaustion_detail));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.checkpoints));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.states_materialized));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.counterexample_input_xml));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.counterexample_output_xml));
+      response.body = std::move(body);
+      break;
+    }
+    case Opcode::kInferInverse: {
+      InferInverseResponse body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&body.num_states));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&body.num_leaf_rules));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&body.num_rules));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.checkpoints));
+      response.body = std::move(body);
+      break;
+    }
+    case Opcode::kLoadArtifact: {
+      LoadArtifactResponse body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&body.kind));
+      response.body = body;
+      break;
+    }
+    case Opcode::kListArtifacts: {
+      ListArtifactsResponse body;
+      uint32_t count = 0;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&count));
+      if (count > max_field_bytes) {
+        return Status::ParseError("artifact list count exceeds the frame cap");
+      }
+      body.artifacts.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ArtifactInfo info;
+        PEBBLETC_RETURN_IF_ERROR(in.ReadString(&info.name));
+        PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&info.kind));
+        body.artifacts.push_back(std::move(info));
+      }
+      response.body = std::move(body);
+      break;
+    }
+    case Opcode::kStats: {
+      StatsResponse body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.requests_total));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.responses_ok));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.malformed_rejected));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.validation_rejected));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.overload_rejected));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.degraded_verdicts));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.hard_errors));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.faults_injected));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&body.in_flight));
+      response.body = std::move(body);
+      break;
+    }
+  }
+  PEBBLETC_RETURN_IF_ERROR(in.Done());
+  return response;
+}
+
+void EncodeFrame(std::string_view payload, std::string* out) {
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+Result<std::optional<std::string>> FrameDecoder::Next() {
+  if (poisoned_) {
+    return Status::ParseError("frame stream poisoned by an oversized frame");
+  }
+  if (buffer_.size() < 4) return std::optional<std::string>();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[i]))
+           << (8 * i);
+  }
+  if (len > max_frame_bytes_) {
+    // A bad length desynchronizes the stream permanently — there is no way
+    // to find the next frame boundary, so fail every subsequent read too.
+    poisoned_ = true;
+    return Status::ParseError("declared frame length " + std::to_string(len) +
+                              " exceeds the " +
+                              std::to_string(max_frame_bytes_) + "-byte cap");
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(len)) {
+    return std::optional<std::string>();
+  }
+  std::string payload = buffer_.substr(4, len);
+  buffer_.erase(0, 4 + static_cast<size_t>(len));
+  return std::optional<std::string>(std::move(payload));
+}
+
+Response MakeErrorResponse(Opcode opcode, uint32_t request_id,
+                           WireStatus status, std::string detail) {
+  Response response;
+  response.header.opcode = opcode;
+  response.header.request_id = request_id;
+  response.header.status = status;
+  response.header.detail = std::move(detail);
+  return response;
+}
+
+}  // namespace pebbletc::serve

@@ -1,0 +1,193 @@
+#include "src/serve/registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace pebbletc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+const char* RegistryKindName(RegistryEntry::Kind kind) {
+  switch (kind) {
+    case RegistryEntry::Kind::kDtd: return "dtd";
+    case RegistryEntry::Kind::kSchema: return "schema";
+    case RegistryEntry::Kind::kTransducer: return "transducer";
+    case RegistryEntry::Kind::kXslt: return "xslt";
+  }
+  return "unknown";
+}
+
+void ArtifactRegistry::Put(std::string_view name, RegistryEntry entry) {
+  auto shared = std::make_shared<const RegistryEntry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[std::string(name)] = std::move(shared);
+}
+
+std::shared_ptr<const RegistryEntry> ArtifactRegistry::Get(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+Result<RegistryEntry::Kind> ArtifactRegistry::PutWrapped(
+    std::string_view name, std::string_view container_bytes) {
+  PEBBLETC_ASSIGN_OR_RETURN(TaArtifactView view,
+                            UnwrapTaArtifact(container_bytes));
+  RegistryEntry entry;
+  switch (view.kind) {
+    case TaArtifactKind::kDtd: {
+      PEBBLETC_ASSIGN_OR_RETURN(SpecializedDtd dtd,
+                                DeserializeDtdArtifact(view.payload));
+      entry.kind = RegistryEntry::Kind::kDtd;
+      entry.dtd = std::make_shared<const SpecializedDtd>(std::move(dtd));
+      break;
+    }
+    case TaArtifactKind::kSchema: {
+      PEBBLETC_ASSIGN_OR_RETURN(SchemaArtifact schema,
+                                DeserializeSchemaArtifact(view.payload));
+      entry.kind = RegistryEntry::Kind::kSchema;
+      entry.schema =
+          std::make_shared<const SchemaArtifact>(std::move(schema));
+      break;
+    }
+    case TaArtifactKind::kTransducer: {
+      PEBBLETC_ASSIGN_OR_RETURN(TransducerArtifact transducer,
+                                DeserializeTransducerArtifact(view.payload));
+      entry.kind = RegistryEntry::Kind::kTransducer;
+      entry.transducer =
+          std::make_shared<const TransducerArtifact>(std::move(transducer));
+      break;
+    }
+    case TaArtifactKind::kNbta:
+    case TaArtifactKind::kDbta:
+      return Status::FailedPrecondition(
+          "bare automaton artifacts (kNbta/kDbta) carry no alphabet and "
+          "cannot serve requests; wrap them as a schema artifact");
+  }
+  const RegistryEntry::Kind kind = entry.kind;
+  Put(name, std::move(entry));
+  return kind;
+}
+
+Status ArtifactRegistry::PutXsltText(std::string_view name,
+                                     std::string_view text) {
+  auto source = std::make_shared<RegistryEntry::XsltSource>();
+  Result<XsltProgram> program =
+      ParseXslt(text, &source->head_tags, &source->literal_tags);
+  if (!program.ok()) {
+    return Status::ParseError("XSLT artifact '" + std::string(name) +
+                              "': " + program.status().ToString());
+  }
+  source->program = std::move(program).value();
+  RegistryEntry entry;
+  entry.kind = RegistryEntry::Kind::kXslt;
+  entry.xslt = std::move(source);
+  Put(name, std::move(entry));
+  return Status::OK();
+}
+
+Status ArtifactRegistry::PutDtdText(std::string_view name,
+                                    std::string_view text) {
+  Result<SpecializedDtd> dtd = ParseSpecializedDtd(text);
+  if (!dtd.ok()) {
+    return Status::ParseError("DTD artifact '" + std::string(name) +
+                              "': " + dtd.status().ToString());
+  }
+  RegistryEntry entry;
+  entry.kind = RegistryEntry::Kind::kDtd;
+  entry.dtd =
+      std::make_shared<const SpecializedDtd>(std::move(dtd).value());
+  Put(name, std::move(entry));
+  return Status::OK();
+}
+
+Result<size_t> ArtifactRegistry::LoadDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot read artifact directory '" + dir +
+                            "': " + ec.message());
+  }
+  size_t installed = 0;
+  for (const fs::directory_entry& file : it) {
+    if (!file.is_regular_file()) continue;
+    const fs::path& path = file.path();
+    const std::string ext = path.extension().string();
+    const std::string name = path.stem().string();
+    if (ext != ".dtd" && ext != ".xslt" && ext != ".ptar") continue;
+    PEBBLETC_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+    if (ext == ".dtd") {
+      PEBBLETC_RETURN_IF_ERROR(PutDtdText(name, contents));
+    } else if (ext == ".xslt") {
+      PEBBLETC_RETURN_IF_ERROR(PutXsltText(name, contents));
+    } else {
+      Result<RegistryEntry::Kind> kind = PutWrapped(name, contents);
+      if (!kind.ok()) {
+        return Status::ParseError("artifact file '" + path.string() +
+                                  "': " + kind.status().ToString());
+      }
+    }
+    ++installed;
+  }
+  return installed;
+}
+
+std::vector<std::pair<std::string, RegistryEntry::Kind>>
+ArtifactRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, RegistryEntry::Kind>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry->kind);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+size_t ArtifactRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Result<RankedEncodingView> EncodedViewOfRanked(const RankedAlphabet& ranked) {
+  RankedEncodingView view;
+  view.enc.ranked = ranked;
+  view.enc.cons = kNoSymbol;
+  view.enc.nil = kNoSymbol;
+  for (SymbolId s = 0; s < ranked.size(); ++s) {
+    const std::string& name = ranked.Name(s);
+    if (name == "-" && ranked.Rank(s) == 2) {
+      view.enc.cons = s;
+    } else if (name == "|" && ranked.Rank(s) == 0) {
+      view.enc.nil = s;
+    } else {
+      // Tag ids are assigned in ranked-id order, matching how
+      // MakeEncodedAlphabet walked the original unranked table.
+      const SymbolId tag = view.tags.Intern(name);
+      view.enc.tag_symbol.resize(tag + 1, kNoSymbol);
+      view.enc.tag_symbol[tag] = s;
+    }
+  }
+  if (view.enc.cons == kNoSymbol || view.enc.nil == kNoSymbol) {
+    return Status::FailedPrecondition(
+        "alphabet lacks the '-'/'|' encoding symbols; this artifact was not "
+        "built over an encoded alphabet and cannot process XML documents");
+  }
+  return view;
+}
+
+}  // namespace pebbletc::serve

@@ -1,0 +1,504 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/core/typechecker.h"
+#include "src/dtd/dtd.h"
+#include "src/tree/encode.h"
+#include "src/xml/xml.h"
+
+namespace pebbletc::serve {
+namespace {
+
+bool IsHeavy(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kValidate:
+    case Opcode::kTypecheck:
+    case Opcode::kInferInverse:
+    case Opcode::kLoadArtifact:
+      return true;
+    case Opcode::kPing:
+    case Opcode::kListArtifacts:
+    case Opcode::kStats:
+      return false;
+  }
+  return true;
+}
+
+Response OkResponse(const RequestHeader& header,
+                    decltype(Response::body) body) {
+  Response response;
+  response.header.opcode = header.opcode;
+  response.header.request_id = header.request_id;
+  response.header.status = WireStatus::kOk;
+  response.body = std::move(body);
+  return response;
+}
+
+Response StatusResponse(const RequestHeader& header, const Status& status) {
+  return MakeErrorResponse(header.opcode, header.request_id,
+                           WireStatusOf(status), status.ToString());
+}
+
+}  // namespace
+
+WireStatus WireStatusOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireStatus::kNotFound;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kFailedPrecondition;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kLimitExceeded:
+      return WireStatus::kResourceExhausted;
+    case StatusCode::kParseError:
+      return WireStatus::kValidationFailed;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return WireStatus::kCancelled;
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+      return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+ServerCore::ServerCore(ServeOptions options)
+    : options_(options),
+      admission_(options.max_in_flight, options.max_queued) {}
+
+void ServerCore::ArmFaultForNextRequest(TaFaultInjector* injector) {
+  armed_fault_.store(injector, std::memory_order_release);
+}
+
+StatsResponse ServerCore::SnapshotStats() const {
+  StatsResponse stats;
+  stats.requests_total = requests_total_.load();
+  stats.responses_ok = responses_ok_.load();
+  stats.malformed_rejected = malformed_rejected_.load();
+  stats.validation_rejected = validation_rejected_.load();
+  stats.overload_rejected = overload_rejected_.load();
+  stats.degraded_verdicts = degraded_verdicts_.load();
+  stats.hard_errors = hard_errors_.load();
+  stats.faults_injected = faults_injected_.load();
+  stats.in_flight = admission_.in_flight();
+  return stats;
+}
+
+std::string ServerCore::HandleFrame(std::string_view payload,
+                                    const std::atomic<bool>* cancel) {
+  requests_total_.fetch_add(1);
+  Response response;
+
+  Result<RawRequestHeader> raw = PeekRequestHeader(payload);
+  if (!raw.ok()) {
+    malformed_rejected_.fetch_add(1);
+    response = MakeErrorResponse(Opcode::kPing, 0, WireStatus::kMalformedFrame,
+                                 raw.status().ToString());
+  } else if (raw->version != kWireVersion) {
+    malformed_rejected_.fetch_add(1);
+    response = MakeErrorResponse(
+        Opcode::kPing, raw->request_id, WireStatus::kUnsupportedVersion,
+        "this server speaks wire version " + std::to_string(kWireVersion) +
+            ", request declared " + std::to_string(raw->version));
+  } else if (raw->opcode_byte > kMaxOpcode) {
+    malformed_rejected_.fetch_add(1);
+    response = MakeErrorResponse(
+        Opcode::kPing, raw->request_id, WireStatus::kUnknownOpcode,
+        "unknown opcode " + std::to_string(raw->opcode_byte));
+  } else {
+    Result<Request> request = DecodeRequest(payload, options_.max_frame_bytes);
+    if (!request.ok()) {
+      malformed_rejected_.fetch_add(1);
+      response = MakeErrorResponse(static_cast<Opcode>(raw->opcode_byte),
+                                   raw->request_id, WireStatus::kMalformedFrame,
+                                   request.status().ToString());
+    } else {
+      // Handle() counts this decoded request itself.
+      requests_total_.fetch_sub(1);
+      response = Handle(*request, cancel);
+    }
+  }
+  std::string encoded;
+  EncodeResponse(response, &encoded);
+  return encoded;
+}
+
+Response ServerCore::Handle(const Request& request,
+                            const std::atomic<bool>* cancel) {
+  requests_total_.fetch_add(1);
+  Status valid = CheckRequest(request, options_.validity);
+  if (!valid.ok()) {
+    validation_rejected_.fetch_add(1);
+    return MakeErrorResponse(request.header.opcode, request.header.request_id,
+                             WireStatus::kValidationFailed, valid.ToString());
+  }
+  if (IsHeavy(request.header.opcode)) {
+    Result<AdmissionController::Slot> slot =
+        admission_.Admit(options_.admission_wait);
+    if (!slot.ok()) {
+      overload_rejected_.fetch_add(1);
+      return MakeErrorResponse(request.header.opcode,
+                               request.header.request_id,
+                               WireStatus::kOverloaded,
+                               slot.status().ToString());
+    }
+    Response response = Dispatch(request, cancel);
+    if (response.header.status == WireStatus::kOk) {
+      responses_ok_.fetch_add(1);
+    }
+    return response;  // the slot releases here, after the response is built
+  }
+  Response response = Dispatch(request, cancel);
+  if (response.header.status == WireStatus::kOk) {
+    responses_ok_.fetch_add(1);
+  }
+  return response;
+}
+
+Response ServerCore::Dispatch(const Request& request,
+                              const std::atomic<bool>* cancel) {
+  const RequestHeader& header = request.header;
+  switch (header.opcode) {
+    case Opcode::kPing:
+      return OkResponse(header, PingResponse{});
+    case Opcode::kValidate:
+      return DoValidate(header, std::get<ValidateRequest>(request.body),
+                        cancel);
+    case Opcode::kTypecheck:
+      return DoTypecheck(header, std::get<TypecheckRequest>(request.body),
+                         cancel);
+    case Opcode::kInferInverse:
+      return DoInferInverse(
+          header, std::get<InferInverseRequest>(request.body), cancel);
+    case Opcode::kLoadArtifact:
+      return DoLoadArtifact(header,
+                            std::get<LoadArtifactRequest>(request.body));
+    case Opcode::kListArtifacts: {
+      ListArtifactsResponse body;
+      for (auto& [name, kind] : registry_.List()) {
+        body.artifacts.push_back(
+            ArtifactInfo{name, static_cast<uint8_t>(kind)});
+      }
+      return OkResponse(header, std::move(body));
+    }
+    case Opcode::kStats:
+      return OkResponse(header, SnapshotStats());
+  }
+  return MakeErrorResponse(header.opcode, header.request_id,
+                           WireStatus::kUnknownOpcode, "unreachable");
+}
+
+namespace {
+
+/// Builds the per-request execution-control options from the server policy,
+/// the client's requested deadline, and the transport cancel flag.
+TypecheckOptions RequestOptions(const ServeOptions& server,
+                                const RequestHeader& header,
+                                const std::atomic<bool>* cancel,
+                                TaFaultInjector* injector) {
+  TypecheckOptions opts;
+  uint32_t deadline_ms = header.deadline_ms == 0 ? server.default_deadline_ms
+                                                 : header.deadline_ms;
+  deadline_ms = std::min(deadline_ms, server.validity.max_deadline_ms);
+  opts.deadline = std::chrono::milliseconds(deadline_ms);
+  opts.cancel = cancel;
+  opts.max_det_states = server.max_det_states;
+  opts.num_threads = server.num_threads;
+  opts.memo = server.memo;  // auto-bypassed when an injector is installed
+  opts.fault_injector = injector;
+  return opts;
+}
+
+}  // namespace
+
+Response ServerCore::DoValidate(const RequestHeader& header,
+                                const ValidateRequest& req,
+                                const std::atomic<bool>* cancel) {
+  (void)cancel;  // document validation is linear-time; no checkpoints needed
+  std::shared_ptr<const RegistryEntry> entry = registry_.Get(req.schema);
+  if (entry == nullptr) {
+    return MakeErrorResponse(header.opcode, header.request_id,
+                             WireStatus::kNotFound,
+                             "no artifact named '" + req.schema + "'");
+  }
+  ValidateResponse body;
+  if (entry->kind == RegistryEntry::Kind::kDtd) {
+    // Parse against a *local copy* of the DTD's tag table: a document tag
+    // the DTD has never seen must read as invalid, not mutate the shared
+    // (immutable) registry entry.
+    Alphabet tags = entry->dtd->tags();
+    const size_t known_tags = tags.size();
+    Result<UnrankedTree> doc = ParseXml(req.document, &tags);
+    if (!doc.ok()) {
+      return StatusResponse(header,
+                            Status::InvalidArgument("document: " +
+                                                    doc.status().ToString()));
+    }
+    if (tags.size() > known_tags) {
+      body.valid = false;
+      body.diagnostic =
+          "document uses tag '" + tags.Name(known_tags) +
+          "' which the DTD does not declare";
+      return OkResponse(header, std::move(body));
+    }
+    Status conforms = entry->dtd->Validate(*doc);
+    body.valid = conforms.ok();
+    if (!conforms.ok()) body.diagnostic = conforms.message();
+    return OkResponse(header, std::move(body));
+  }
+  if (entry->kind == RegistryEntry::Kind::kSchema) {
+    Result<RankedEncodingView> view =
+        EncodedViewOfRanked(entry->schema->alphabet);
+    if (!view.ok()) return StatusResponse(header, view.status());
+    const size_t known_tags = view->tags.size();
+    Result<UnrankedTree> doc = ParseXml(req.document, &view->tags);
+    if (!doc.ok()) {
+      return StatusResponse(header,
+                            Status::InvalidArgument("document: " +
+                                                    doc.status().ToString()));
+    }
+    if (view->tags.size() > known_tags) {
+      body.valid = false;
+      body.diagnostic = "document uses tag '" + view->tags.Name(known_tags) +
+                        "' outside the schema alphabet";
+      return OkResponse(header, std::move(body));
+    }
+    Result<BinaryTree> encoded = EncodeTree(*doc, view->enc);
+    if (!encoded.ok()) return StatusResponse(header, encoded.status());
+    body.valid = entry->schema->automaton.Accepts(*encoded);
+    if (!body.valid) body.diagnostic = "schema automaton rejects the document";
+    return OkResponse(header, std::move(body));
+  }
+  return MakeErrorResponse(
+      header.opcode, header.request_id, WireStatus::kFailedPrecondition,
+      "artifact '" + req.schema + "' is a " + RegistryKindName(entry->kind) +
+          ", not a schema or DTD");
+}
+
+namespace {
+
+/// Everything a typecheck/infer request needs after name resolution and
+/// alphabet assembly: the transducer, its encoded alphabets, the unranked
+/// tag tables (for rendering counterexamples as XML), and the compiled
+/// τ automata.
+struct CompiledInstance {
+  PebbleTransducer transducer{1, 0, 0};
+  EncodedAlphabet in_enc;
+  EncodedAlphabet out_enc;
+  Alphabet in_tags;
+  Alphabet out_tags;
+  Nbta tau1;       // only for typecheck
+  Nbta tau2;
+  bool has_tau1 = false;
+};
+
+Result<std::shared_ptr<const RegistryEntry>> ResolveKind(
+    const ArtifactRegistry& registry, const std::string& name,
+    RegistryEntry::Kind want_a, RegistryEntry::Kind want_b) {
+  std::shared_ptr<const RegistryEntry> entry = registry.Get(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no artifact named '" + name + "'");
+  }
+  if (entry->kind != want_a && entry->kind != want_b) {
+    return Status::FailedPrecondition(
+        "artifact '" + name + "' is a " + RegistryKindName(entry->kind) +
+        "; this request needs a " + RegistryKindName(want_a) +
+        (want_a == want_b ? std::string()
+                          : std::string(" or ") + RegistryKindName(want_b)));
+  }
+  return entry;
+}
+
+/// Resolves and compiles a (transducer, [τ1], τ2) instance. XSLT programs
+/// are compiled over alphabets extended with the paired DTDs' tags (the
+/// pebbletc_cli convention); pre-compiled transducer artifacts have fixed
+/// alphabets, so the DTDs must fit inside them.
+Result<CompiledInstance> CompileInstance(
+    const ArtifactRegistry& registry, const std::string& transducer_name,
+    const SpecializedDtd* input_dtd, const SpecializedDtd& output_dtd) {
+  PEBBLETC_ASSIGN_OR_RETURN(
+      std::shared_ptr<const RegistryEntry> entry,
+      ResolveKind(registry, transducer_name, RegistryEntry::Kind::kXslt,
+                  RegistryEntry::Kind::kTransducer));
+  CompiledInstance instance;
+  if (entry->kind == RegistryEntry::Kind::kXslt) {
+    instance.in_tags = entry->xslt->head_tags;
+    instance.out_tags = entry->xslt->literal_tags;
+    if (input_dtd != nullptr) {
+      for (SymbolId t = 0; t < input_dtd->tags().size(); ++t) {
+        instance.in_tags.Intern(input_dtd->tags().Name(t));
+      }
+    }
+    for (SymbolId t = 0; t < output_dtd.tags().size(); ++t) {
+      instance.out_tags.Intern(output_dtd.tags().Name(t));
+    }
+    PEBBLETC_ASSIGN_OR_RETURN(instance.in_enc,
+                              MakeEncodedAlphabet(instance.in_tags));
+    PEBBLETC_ASSIGN_OR_RETURN(instance.out_enc,
+                              MakeEncodedAlphabet(instance.out_tags));
+    Result<PebbleTransducer> compiled = CompileXslt(
+        entry->xslt->program, instance.in_enc, instance.out_enc);
+    if (!compiled.ok()) {
+      return Status::FailedPrecondition(
+          "XSLT '" + transducer_name + "' does not cover these types: " +
+          compiled.status().ToString());
+    }
+    instance.transducer = std::move(compiled).value();
+  } else {
+    PEBBLETC_ASSIGN_OR_RETURN(
+        RankedEncodingView in_view,
+        EncodedViewOfRanked(entry->transducer->input_alphabet));
+    PEBBLETC_ASSIGN_OR_RETURN(
+        RankedEncodingView out_view,
+        EncodedViewOfRanked(entry->transducer->output_alphabet));
+    instance.in_enc = std::move(in_view.enc);
+    instance.out_enc = std::move(out_view.enc);
+    instance.in_tags = std::move(in_view.tags);
+    instance.out_tags = std::move(out_view.tags);
+    instance.transducer = entry->transducer->transducer;
+  }
+  if (input_dtd != nullptr) {
+    Result<Nbta> tau1 = CompileDtdOver(*input_dtd, instance.in_enc);
+    if (!tau1.ok()) {
+      return Status::FailedPrecondition(
+          "input DTD does not fit the transducer's input alphabet: " +
+          tau1.status().ToString());
+    }
+    instance.tau1 = std::move(tau1).value();
+    instance.has_tau1 = true;
+  }
+  Result<Nbta> tau2 = CompileDtdOver(output_dtd, instance.out_enc);
+  if (!tau2.ok()) {
+    return Status::FailedPrecondition(
+        "output DTD does not fit the transducer's output alphabet: " +
+        tau2.status().ToString());
+  }
+  instance.tau2 = std::move(tau2).value();
+  return instance;
+}
+
+std::string RenderTree(const std::optional<BinaryTree>& tree,
+                       const EncodedAlphabet& enc, const Alphabet& tags) {
+  if (!tree.has_value()) return std::string();
+  Result<UnrankedTree> doc = DecodeTree(*tree, enc);
+  if (!doc.ok()) return std::string();  // not an encoded document — omit
+  return XmlString(*doc, tags);
+}
+
+}  // namespace
+
+Response ServerCore::DoTypecheck(const RequestHeader& header,
+                                 const TypecheckRequest& req,
+                                 const std::atomic<bool>* cancel) {
+  Result<std::shared_ptr<const RegistryEntry>> in_entry =
+      ResolveKind(registry_, req.input_type, RegistryEntry::Kind::kDtd,
+                  RegistryEntry::Kind::kDtd);
+  if (!in_entry.ok()) return StatusResponse(header, in_entry.status());
+  Result<std::shared_ptr<const RegistryEntry>> out_entry =
+      ResolveKind(registry_, req.output_type, RegistryEntry::Kind::kDtd,
+                  RegistryEntry::Kind::kDtd);
+  if (!out_entry.ok()) return StatusResponse(header, out_entry.status());
+
+  Result<CompiledInstance> instance =
+      CompileInstance(registry_, req.transducer, (*in_entry)->dtd.get(),
+                      *(*out_entry)->dtd);
+  if (!instance.ok()) return StatusResponse(header, instance.status());
+
+  TaFaultInjector* injector = armed_fault_.exchange(nullptr);
+  TypecheckOptions opts = RequestOptions(options_, header, cancel, injector);
+  Typechecker checker(instance->transducer, instance->in_enc.ranked,
+                      instance->out_enc.ranked);
+  Result<TypecheckResult> result =
+      checker.Typecheck(instance->tau1, instance->tau2, opts);
+  if (injector != nullptr && injector->tripped) {
+    faults_injected_.fetch_add(1);
+  }
+  if (!result.ok()) {
+    hard_errors_.fetch_add(1);
+    return StatusResponse(header, result.status());
+  }
+
+  TypecheckResponse body;
+  switch (result->verdict) {
+    case TypecheckVerdict::kTypechecks:
+      body.verdict = 0;
+      break;
+    case TypecheckVerdict::kCounterexample:
+      body.verdict = 1;
+      break;
+    case TypecheckVerdict::kUnknown:
+      body.verdict = 2;
+      degraded_verdicts_.fetch_add(1);
+      break;
+  }
+  body.method = result->method;
+  body.exhausted = result->exhausted.exhausted;
+  body.exhaustion_code = static_cast<uint8_t>(result->exhausted.code);
+  body.exhaustion_pass = result->exhausted.pass;
+  body.exhaustion_detail = result->exhausted.detail;
+  body.checkpoints = result->op_counters.checkpoints;
+  body.states_materialized = result->op_counters.states_materialized;
+  body.counterexample_input_xml = RenderTree(
+      result->counterexample_input, instance->in_enc, instance->in_tags);
+  body.counterexample_output_xml = RenderTree(
+      result->counterexample_output, instance->out_enc, instance->out_tags);
+  return OkResponse(header, std::move(body));
+}
+
+Response ServerCore::DoInferInverse(const RequestHeader& header,
+                                    const InferInverseRequest& req,
+                                    const std::atomic<bool>* cancel) {
+  Result<std::shared_ptr<const RegistryEntry>> out_entry =
+      ResolveKind(registry_, req.output_type, RegistryEntry::Kind::kDtd,
+                  RegistryEntry::Kind::kDtd);
+  if (!out_entry.ok()) return StatusResponse(header, out_entry.status());
+
+  Result<CompiledInstance> instance = CompileInstance(
+      registry_, req.transducer, nullptr, *(*out_entry)->dtd);
+  if (!instance.ok()) return StatusResponse(header, instance.status());
+
+  TaFaultInjector* injector = armed_fault_.exchange(nullptr);
+  TypecheckOptions opts = RequestOptions(options_, header, cancel, injector);
+  Typechecker checker(instance->transducer, instance->in_enc.ranked,
+                      instance->out_enc.ranked);
+  Result<Nbta> inverse = checker.InferInverseType(instance->tau2, opts);
+  if (injector != nullptr && injector->tripped) {
+    faults_injected_.fetch_add(1);
+  }
+  if (!inverse.ok()) {
+    // Inference has no three-valued verdict to degrade into: a budget hit
+    // is reported as the corresponding structured error status.
+    hard_errors_.fetch_add(1);
+    return StatusResponse(header, inverse.status());
+  }
+  InferInverseResponse body;
+  body.num_states = inverse->num_states;
+  body.num_leaf_rules = static_cast<uint32_t>(inverse->leaf_rules.size());
+  body.num_rules = static_cast<uint32_t>(inverse->rules.size());
+  return OkResponse(header, std::move(body));
+}
+
+Response ServerCore::DoLoadArtifact(const RequestHeader& header,
+                                    const LoadArtifactRequest& req) {
+  if (!options_.allow_load) {
+    return MakeErrorResponse(
+        header.opcode, header.request_id, WireStatus::kFailedPrecondition,
+        "runtime artifact loading is disabled on this server");
+  }
+  Result<RegistryEntry::Kind> kind = registry_.PutWrapped(req.name,
+                                                          req.artifact);
+  if (!kind.ok()) return StatusResponse(header, kind.status());
+  LoadArtifactResponse body;
+  body.kind = static_cast<uint8_t>(*kind);
+  return OkResponse(header, body);
+}
+
+}  // namespace pebbletc::serve

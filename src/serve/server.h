@@ -1,0 +1,128 @@
+// The typecheck service's transport-independent core (docs/SERVING.md):
+// one request payload in, one response payload out. Everything the daemon
+// promises lives here, where tests can drive it deterministically without
+// sockets:
+//
+//   * tiered trust-boundary validation (src/serve/validity.h) between
+//     protocol decoding and dispatch — malformed or oversized inputs are
+//     rejected with structured errors before touching an automata op;
+//   * admission control (src/serve/admission.h) — heavy requests acquire an
+//     in-flight slot or are shed with WireStatus::kOverloaded;
+//   * per-request execution control — every typecheck/infer/validate runs
+//     under a TaOpContext deadline (client-requested, server-clamped) with
+//     cooperative cancellation wired to the transport's disconnect signal;
+//   * graceful degradation over the wire — a typecheck that exhausts its
+//     budgets returns verdict kUnknown *plus* the structured
+//     ExhaustionReport as an OK response, never a dropped connection;
+//   * deterministic fault injection — a test can arm a TaFaultInjector for
+//     the next heavy request and assert the failure stays contained to that
+//     one response while the server keeps serving (the soak in
+//     tests/serve_soak_test.cc sweeps every checkpoint ordinal this way).
+
+#ifndef PEBBLETC_SERVE_SERVER_H_
+#define PEBBLETC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/serve/admission.h"
+#include "src/serve/protocol.h"
+#include "src/serve/registry.h"
+#include "src/serve/validity.h"
+#include "src/ta/op_context.h"
+
+namespace pebbletc::serve {
+
+struct ServeOptions {
+  /// Trust-boundary tier and caps (see src/serve/validity.h).
+  ValidityOptions validity;
+  /// Frame/field byte ceiling for both directions.
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Admission control: concurrent heavy requests / bounded wait queue /
+  /// how long an admitted waiter may wait for a slot before being shed.
+  uint32_t max_in_flight = 4;
+  uint32_t max_queued = 8;
+  std::chrono::milliseconds admission_wait{100};
+  /// Deadline applied when a request does not ask for one; requests are
+  /// always clamped to validity.max_deadline_ms.
+  uint32_t default_deadline_ms = 2000;
+  /// Budgets forwarded into TypecheckOptions.
+  size_t max_det_states = 200000;
+  /// Worker threads per request (1 = serial; the daemon's concurrency comes
+  /// from serving requests in parallel, not from intra-request forking).
+  uint32_t num_threads = 1;
+  /// Op-cache mode for request contexts (docs/CACHING.md). kInMemory is the
+  /// serving default: repeated requests against the same artifacts hit the
+  /// structural cache. Automatically bypassed for fault-armed requests.
+  TaMemoMode memo = TaMemoMode::kInMemory;
+  /// Whether the kLoadArtifact wire op may install artifacts at runtime.
+  bool allow_load = true;
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServeOptions options);
+
+  ArtifactRegistry& registry() { return registry_; }
+  AdmissionController& admission() { return admission_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Processes one request payload (no transport frame) and returns the
+  /// encoded response payload. Never throws, never crashes on arbitrary
+  /// bytes; every failure mode is a structured response. `cancel`, when
+  /// non-null, is polled at every automata-op checkpoint — the transport
+  /// sets it when the client disconnects mid-request.
+  std::string HandleFrame(std::string_view payload,
+                          const std::atomic<bool>* cancel = nullptr);
+
+  /// Decoded-domain variant of HandleFrame (used by tests that want to
+  /// inspect responses without re-parsing).
+  Response Handle(const Request& request,
+                  const std::atomic<bool>* cancel = nullptr);
+
+  /// Test hook: the next admitted typecheck / infer / validate request runs
+  /// with `injector` installed on its context (forcing the serial,
+  /// memo-cold path, so checkpoint ordinals are deterministic). The pointer
+  /// must outlive that request; it is consumed atomically by exactly one.
+  void ArmFaultForNextRequest(TaFaultInjector* injector);
+
+  /// Counter snapshot (also served as the kStats wire op).
+  StatsResponse SnapshotStats() const;
+
+ private:
+  Response Dispatch(const Request& request, const std::atomic<bool>* cancel);
+  Response DoValidate(const RequestHeader& header, const ValidateRequest& req,
+                      const std::atomic<bool>* cancel);
+  Response DoTypecheck(const RequestHeader& header, const TypecheckRequest& req,
+                       const std::atomic<bool>* cancel);
+  Response DoInferInverse(const RequestHeader& header,
+                          const InferInverseRequest& req,
+                          const std::atomic<bool>* cancel);
+  Response DoLoadArtifact(const RequestHeader& header,
+                          const LoadArtifactRequest& req);
+
+  ServeOptions options_;
+  ArtifactRegistry registry_;
+  AdmissionController admission_;
+  std::atomic<TaFaultInjector*> armed_fault_{nullptr};
+
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> malformed_rejected_{0};
+  std::atomic<uint64_t> validation_rejected_{0};
+  std::atomic<uint64_t> overload_rejected_{0};
+  std::atomic<uint64_t> degraded_verdicts_{0};
+  std::atomic<uint64_t> hard_errors_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+/// Maps a core Status to the wire status used when that Status aborts a
+/// request (exposed for tests).
+WireStatus WireStatusOf(const Status& status);
+
+}  // namespace pebbletc::serve
+
+#endif  // PEBBLETC_SERVE_SERVER_H_

@@ -1,0 +1,206 @@
+#include "src/serve/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "src/serve/protocol.h"
+
+namespace pebbletc::serve {
+namespace {
+
+/// Reads exactly `n` bytes; false on EOF or error.
+bool ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::write(fd, buf + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool SendFrame(int fd, std::string_view payload) {
+  std::string frame;
+  EncodeFrame(payload, &frame);
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+}  // namespace
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start(const std::string& path) {
+  if (running_.load()) {
+    return Status::FailedPrecondition("socket server already running");
+  }
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::Internal("bind('" + path +
+                                "'): " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status s =
+        Status::Internal(std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  path_ = path;
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() and in-flight reads, and cancel running requests.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) {
+      conn->cancel.store(true);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load()) break;
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.push_back(conn);
+    connection_threads_.emplace_back(
+        [this, conn] { HandleConnection(conn); });
+  }
+}
+
+void SocketServer::WatchdogLoop() {
+  while (running_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) {
+      if (conn->done.load() || !conn->busy.load()) continue;
+      // A request is in flight on this connection; probe whether the peer
+      // hung up. recv(MSG_PEEK) returning 0 means orderly shutdown — the
+      // client is gone, so flip its cancel flag and let the request's next
+      // checkpoint unwind it.
+      char probe;
+      ssize_t r = ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (r == 0) {
+        conn->cancel.store(true);
+      } else if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        conn->cancel.store(true);
+      }
+    }
+    // Prune finished connections so a long-lived daemon doesn't accumulate
+    // one entry per historical client.
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::shared_ptr<Connection>& c) {
+                         return c->done.load();
+                       }),
+        connections_.end());
+  }
+}
+
+void SocketServer::HandleConnection(std::shared_ptr<Connection> conn) {
+  const uint32_t cap = core_->options().max_frame_bytes;
+  while (running_.load()) {
+    char len_bytes[4];
+    if (!ReadFull(conn->fd, len_bytes, 4)) break;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<unsigned char>(len_bytes[i]))
+             << (8 * i);
+    }
+    if (len > cap) {
+      // Framing is unrecoverable: answer with one structured error frame,
+      // then close — never read the declared length.
+      Response err = MakeErrorResponse(
+          Opcode::kPing, 0, WireStatus::kMalformedFrame,
+          "declared frame length " + std::to_string(len) + " exceeds the " +
+              std::to_string(cap) + "-byte cap");
+      std::string payload;
+      EncodeResponse(err, &payload);
+      SendFrame(conn->fd, payload);
+      break;
+    }
+    std::string request(len, '\0');
+    if (len > 0 && !ReadFull(conn->fd, request.data(), len)) break;
+
+    conn->busy.store(true);
+    std::string response = core_->HandleFrame(request, &conn->cancel);
+    conn->busy.store(false);
+    if (conn->cancel.load()) break;  // client gone; response undeliverable
+    if (!SendFrame(conn->fd, response)) break;
+  }
+  ::close(conn->fd);
+  conn->done.store(true);
+}
+
+}  // namespace pebbletc::serve

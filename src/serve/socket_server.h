@@ -1,0 +1,76 @@
+// The daemon's transport: a Unix-domain stream socket speaking the
+// length-prefixed protocol of src/serve/protocol.h, thread-per-connection,
+// with a watchdog that detects client disconnects mid-request and flips the
+// per-connection cancel flag — the transport half of cooperative
+// cancellation (the TaOpContext checkpoints inside the request are the
+// other half).
+//
+// Framing errors (oversized declared length, torn length prefix) poison the
+// stream — there is no way to resynchronize — so the connection gets one
+// final structured error frame and is closed. Content errors (malformed
+// payloads, validation rejections, overload) keep the connection open; they
+// are ordinary responses.
+
+#ifndef PEBBLETC_SERVE_SOCKET_SERVER_H_
+#define PEBBLETC_SERVE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/server.h"
+
+namespace pebbletc::serve {
+
+class SocketServer {
+ public:
+  /// `core` must outlive the server.
+  explicit SocketServer(ServerCore* core) : core_(core) {}
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on a Unix-domain socket at `path` (any stale socket
+  /// file is removed first), then starts the accept and watchdog threads.
+  Status Start(const std::string& path);
+
+  /// Stops accepting, cancels in-flight requests, joins all threads, and
+  /// removes the socket file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> cancel{false};
+    /// True while a request is being processed (the watchdog only probes
+    /// busy connections — an idle connection's readability is just the next
+    /// request arriving).
+    std::atomic<bool> busy{false};
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void WatchdogLoop();
+  void HandleConnection(std::shared_ptr<Connection> conn);
+
+  ServerCore* core_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace pebbletc::serve
+
+#endif  // PEBBLETC_SERVE_SOCKET_SERVER_H_

@@ -1,0 +1,149 @@
+#include "src/serve/validity.h"
+
+#include <string>
+#include <string_view>
+
+#include "src/alphabet/alphabet.h"
+#include "src/common/result.h"
+#include "src/ta/serialize.h"
+#include "src/xml/xml.h"
+
+namespace pebbletc::serve {
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+}
+
+Status CheckName(std::string_view name, std::string_view field,
+                 const ValidityOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument(std::string(field) + " name is empty");
+  }
+  if (name.size() > options.max_name_bytes) {
+    return Status::InvalidArgument(
+        std::string(field) + " name exceeds " +
+        std::to_string(options.max_name_bytes) + " bytes");
+  }
+  for (char c : name) {
+    if (!IsNameChar(c)) {
+      return Status::InvalidArgument(
+          std::string(field) +
+          " name contains a character outside [A-Za-z0-9_.-]");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckBasic(const Request& request, const ValidityOptions& options) {
+  if (request.header.deadline_ms > options.max_deadline_ms) {
+    return Status::InvalidArgument(
+        "requested deadline " + std::to_string(request.header.deadline_ms) +
+        "ms exceeds the server maximum of " +
+        std::to_string(options.max_deadline_ms) + "ms");
+  }
+  return std::visit(
+      [&options](const auto& body) -> Status {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ValidateRequest>) {
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.schema, "schema", options));
+          if (body.document.empty()) {
+            return Status::InvalidArgument("document is empty");
+          }
+          if (body.document.size() > options.max_document_bytes) {
+            return Status::InvalidArgument(
+                "document exceeds " +
+                std::to_string(options.max_document_bytes) + " bytes");
+          }
+        } else if constexpr (std::is_same_v<T, TypecheckRequest>) {
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.transducer, "transducer", options));
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.input_type, "input type", options));
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.output_type, "output type", options));
+        } else if constexpr (std::is_same_v<T, InferInverseRequest>) {
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.transducer, "transducer", options));
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.output_type, "output type", options));
+        } else if constexpr (std::is_same_v<T, LoadArtifactRequest>) {
+          PEBBLETC_RETURN_IF_ERROR(CheckName(body.name, "artifact", options));
+          if (body.artifact.empty()) {
+            return Status::InvalidArgument("artifact payload is empty");
+          }
+          if (body.artifact.size() > options.max_artifact_bytes) {
+            return Status::InvalidArgument(
+                "artifact payload exceeds " +
+                std::to_string(options.max_artifact_bytes) + " bytes");
+          }
+        }
+        return Status::OK();
+      },
+      request.body);
+}
+
+Status CheckFull(const Request& request, const ValidityOptions& options) {
+  (void)options;
+  return std::visit(
+      [](const auto& body) -> Status {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ValidateRequest>) {
+          // Well-formedness pre-parse against a throwaway alphabet: after
+          // this, dispatch parses the same text against the schema's tag
+          // table knowing the only possible new failure is an unknown tag.
+          Alphabet scratch;
+          Result<UnrankedTree> doc = ParseXml(body.document, &scratch);
+          if (!doc.ok()) {
+            return Status::InvalidArgument("document is not well-formed: " +
+                                           doc.status().ToString());
+          }
+        } else if constexpr (std::is_same_v<T, LoadArtifactRequest>) {
+          // Unwrap + full payload deserialization: every structural
+          // invariant (ranges, ranks, regex arity/depth, checksum) holds
+          // before the artifact is allowed anywhere near the registry.
+          Result<TaArtifactView> view = UnwrapTaArtifact(body.artifact);
+          if (!view.ok()) return view.status();
+          switch (view->kind) {
+            case TaArtifactKind::kDtd: {
+              Result<SpecializedDtd> dtd =
+                  DeserializeDtdArtifact(view->payload);
+              if (!dtd.ok()) return dtd.status();
+              break;
+            }
+            case TaArtifactKind::kSchema: {
+              Result<SchemaArtifact> schema =
+                  DeserializeSchemaArtifact(view->payload);
+              if (!schema.ok()) return schema.status();
+              break;
+            }
+            case TaArtifactKind::kTransducer: {
+              Result<TransducerArtifact> transducer =
+                  DeserializeTransducerArtifact(view->payload);
+              if (!transducer.ok()) return transducer.status();
+              break;
+            }
+            case TaArtifactKind::kNbta:
+            case TaArtifactKind::kDbta:
+              return Status::InvalidArgument(
+                  "bare automaton artifacts cannot be served; wrap as a "
+                  "schema artifact");
+          }
+        }
+        return Status::OK();
+      },
+      request.body);
+}
+
+}  // namespace
+
+Status CheckRequest(const Request& request, const ValidityOptions& options) {
+  if (options.level == ValidityLevel::kOff) return Status::OK();
+  PEBBLETC_RETURN_IF_ERROR(CheckBasic(request, options));
+  if (options.level == ValidityLevel::kBasic) return Status::OK();
+  return CheckFull(request, options);
+}
+
+}  // namespace pebbletc::serve
