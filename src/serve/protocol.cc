@@ -90,6 +90,10 @@ class Reader {
     return Status::OK();
   }
 
+  /// Bytes left to read — used to reject count fields that claim more
+  /// entries than the payload can encode, before anything is reserved.
+  size_t remaining() const { return bytes_.size() - pos_; }
+
  private:
   static Status Truncated() {
     return Status::ParseError("wire message truncated");
@@ -346,8 +350,11 @@ Result<Response> DecodeResponse(std::string_view payload,
       ListArtifactsResponse body;
       uint32_t count = 0;
       PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&count));
-      if (count > max_field_bytes) {
-        return Status::ParseError("artifact list count exceeds the frame cap");
+      // An entry is at least 5 wire bytes (4-byte name length + 1-byte
+      // kind), so a hostile or buggy server cannot make the client reserve
+      // more entries than the payload it actually sent can hold.
+      if (count > in.remaining() / 5) {
+        return Status::ParseError("artifact list count exceeds the payload");
       }
       body.artifacts.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {

@@ -50,6 +50,12 @@ bool SendFrame(int fd, std::string_view payload) {
   return WriteFull(fd, frame.data(), frame.size());
 }
 
+/// Hard cap on concurrent connections. The thread-per-connection design
+/// otherwise has no bound, so enough idle clients could exhaust fds and
+/// wedge accept() in a failure loop; excess connections get one structured
+/// kOverloaded frame and an orderly close instead.
+constexpr size_t kMaxConnections = 256;
+
 }  // namespace
 
 SocketServer::~SocketServer() { Stop(); }
@@ -104,17 +110,13 @@ void SocketServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
-  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
+    conns.swap(connections_);
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    connections_.clear();
+  for (auto& conn : conns) {
+    if (conn->worker.joinable()) conn->worker.join();
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -127,45 +129,89 @@ void SocketServer::AcceptLoop() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (!running_.load()) break;
+      // Persistent failures (EMFILE under fd pressure, ENOBUFS, ...) would
+      // otherwise spin this loop at 100% CPU; back off before retrying.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
       continue;
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    std::lock_guard<std::mutex> lock(mu_);
-    connections_.push_back(conn);
-    connection_threads_.emplace_back(
-        [this, conn] { HandleConnection(conn); });
+    auto try_admit = [this, &conn] {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (connections_.size() >= kMaxConnections) return false;
+      connections_.push_back(conn);
+      conn->worker = std::thread([this, conn] { HandleConnection(conn); });
+      return true;
+    };
+    bool admitted = try_admit();
+    if (!admitted) {
+      // At the cap, reap connections whose handlers already finished and
+      // retry once — refusal is for genuinely concurrent load, not stale
+      // bookkeeping awaiting the watchdog's next tick.
+      ReapFinished();
+      admitted = try_admit();
+    }
+    if (!admitted) {
+      Response err = MakeErrorResponse(
+          Opcode::kPing, 0, WireStatus::kOverloaded,
+          "connection limit (" + std::to_string(kMaxConnections) +
+              ") reached; retry later");
+      std::string payload;
+      EncodeResponse(err, &payload);
+      SendFrame(fd, payload);
+      ::close(fd);
+    }
   }
 }
 
 void SocketServer::WatchdogLoop() {
   while (running_.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& conn : connections_) {
-      if (conn->done.load() || !conn->busy.load()) continue;
-      // A request is in flight on this connection; probe whether the peer
-      // hung up. recv(MSG_PEEK) returning 0 means orderly shutdown — the
-      // client is gone, so flip its cancel flag and let the request's next
-      // checkpoint unwind it.
-      char probe;
-      ssize_t r = ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-      if (r == 0) {
-        conn->cancel.store(true);
-      } else if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                 errno != EINTR) {
-        conn->cancel.store(true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& conn : connections_) {
+        if (conn->done.load() || !conn->busy.load()) continue;
+        // A request is in flight on this connection; probe whether the peer
+        // hung up. recv(MSG_PEEK) returning 0 means orderly shutdown — the
+        // client is gone, so flip its cancel flag and let the request's next
+        // checkpoint unwind it.
+        char probe;
+        ssize_t r = ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0) {
+          conn->cancel.store(true);
+        } else if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          conn->cancel.store(true);
+        }
       }
     }
-    // Prune finished connections so a long-lived daemon doesn't accumulate
-    // one entry per historical client.
-    connections_.erase(
-        std::remove_if(connections_.begin(), connections_.end(),
-                       [](const std::shared_ptr<Connection>& c) {
-                         return c->done.load();
-                       }),
-        connections_.end());
+    // Reap finished connections (join the handler thread, drop the entry)
+    // so a long-lived daemon doesn't accumulate one joinable thread per
+    // historical client.
+    ReapFinished();
   }
+}
+
+size_t SocketServer::ReapFinished() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  size_t alive = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::partition(
+        connections_.begin(), connections_.end(),
+        [](const std::shared_ptr<Connection>& c) { return !c->done.load(); });
+    finished.assign(std::make_move_iterator(it),
+                    std::make_move_iterator(connections_.end()));
+    connections_.erase(it, connections_.end());
+    alive = connections_.size();
+  }
+  // Join outside the lock: a done handler is at most a few instructions from
+  // returning and never retakes mu_, but there is no reason to serialize the
+  // accept path behind even that.
+  for (auto& conn : finished) {
+    if (conn->worker.joinable()) conn->worker.join();
+  }
+  return alive;
 }
 
 void SocketServer::HandleConnection(std::shared_ptr<Connection> conn) {

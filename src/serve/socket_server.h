@@ -48,6 +48,11 @@ class SocketServer {
  private:
   struct Connection {
     int fd = -1;
+    /// The handler thread serving this connection. Owned here so a finished
+    /// connection can be reaped (joined and dropped) as one unit — a
+    /// long-lived daemon must not accumulate a joinable thread per
+    /// historical client.
+    std::thread worker;
     std::atomic<bool> cancel{false};
     /// True while a request is being processed (the watchdog only probes
     /// busy connections — an idle connection's readability is just the next
@@ -60,6 +65,10 @@ class SocketServer {
   void WatchdogLoop();
   void HandleConnection(std::shared_ptr<Connection> conn);
 
+  /// Joins and drops every connection whose handler has finished. Returns
+  /// the number of connections still alive.
+  size_t ReapFinished();
+
   ServerCore* core_;
   std::string path_;
   int listen_fd_ = -1;
@@ -68,7 +77,6 @@ class SocketServer {
   std::thread watchdog_thread_;
   std::mutex mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> connection_threads_;
 };
 
 }  // namespace pebbletc::serve

@@ -132,6 +132,11 @@ class Reader {
     return Status::OK();
   }
 
+  /// Bytes left to read. Any count field claiming more elements than the
+  /// remaining input can encode is malformed, and must be rejected before
+  /// the elements are allocated.
+  size_t remaining() const { return bytes_.size() - pos_; }
+
  private:
   std::string_view bytes_;
   size_t pos_ = 0;
@@ -181,6 +186,12 @@ Status ReadNbtaBody(Reader& in, Nbta* a) {
   PEBBLETC_RETURN_IF_ERROR(in.ReadBits(a->num_states, &a->accepting));
   uint32_t n_leaf = 0;
   PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&n_leaf));
+  // A leaf rule occupies 8 wire bytes, so a count the remaining input cannot
+  // hold is a lie — reject it before reserving, or a 2 MiB payload claiming
+  // 0xFFFFFFFF rules would force a ~68 GB allocation.
+  if (n_leaf > in.remaining() / 8) {
+    return Status::ParseError("leaf rule count exceeds the remaining input");
+  }
   a->leaf_rules.reserve(n_leaf);
   for (uint32_t i = 0; i < n_leaf; ++i) {
     Nbta::LeafRule r;
@@ -193,6 +204,10 @@ Status ReadNbtaBody(Reader& in, Nbta* a) {
   }
   uint32_t n_rules = 0;
   PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&n_rules));
+  // Same bound for binary rules, at 16 wire bytes each.
+  if (n_rules > in.remaining() / 16) {
+    return Status::ParseError("binary rule count exceeds the remaining input");
+  }
   a->rules.reserve(n_rules);
   for (uint32_t i = 0; i < n_rules; ++i) {
     Nbta::BinaryRule r;
@@ -226,6 +241,25 @@ Result<Dbta> DeserializeDbta(std::string_view bytes) {
   PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&num_symbols));
   if (num_states == 0) {
     return Status::ParseError("deterministic automaton needs >= 1 state");
+  }
+  // The constructor allocates an accepting bitset (1 bit per state), a leaf
+  // table (4 bytes per symbol on the wire) and a num_symbols * num_states^2
+  // transition table (4 bytes per entry on the wire). Bound each dimension
+  // by what the remaining input can actually encode before any object
+  // exists, so an 8-byte hostile header can neither demand an astronomical
+  // allocation nor overflow the 64-bit table-size product.
+  const uint64_t remaining = in.remaining();
+  if ((static_cast<uint64_t>(num_states) + 7) / 8 > remaining) {
+    return Status::ParseError("automaton state count exceeds the input size");
+  }
+  if (num_symbols > remaining / 4) {
+    return Status::ParseError("automaton symbol count exceeds the input size");
+  }
+  const uint64_t states_sq = static_cast<uint64_t>(num_states) * num_states;
+  const uint64_t max_entries = remaining / 4;
+  if (num_symbols > 0 && states_sq > max_entries / num_symbols) {
+    return Status::ParseError(
+        "automaton transition table exceeds the input size");
   }
   Dbta d(num_states, num_symbols);
   std::vector<bool> acc;

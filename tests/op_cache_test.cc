@@ -251,6 +251,44 @@ TEST(SerializeTest, RejectsTruncationAndTrailingBytes) {
   EXPECT_FALSE(DeserializeDbta(dbta_bytes + '\0').ok());
 }
 
+// A hostile header may claim astronomically more elements than the payload
+// holds (e.g. 0xFFFFFFFF rules in a few bytes, ~68 GB if reserved). Every
+// such count must be rejected as a parse error before anything is
+// allocated — an uncaught bad_alloc would take down the whole daemon.
+TEST(SerializeTest, RejectsCountsExceedingRemainingInput) {
+  auto u32 = [](uint32_t v) {
+    std::string s;
+    for (int i = 0; i < 4; ++i) {
+      s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    return s;
+  };
+
+  // Nbta: 1 state, 1 symbol, empty accepting byte, then a leaf-rule count
+  // far beyond the remaining (zero) bytes.
+  const std::string nbta_header = u32(1) + u32(1) + std::string(1, '\0');
+  Result<Nbta> huge_leaf = DeserializeNbta(nbta_header + u32(0xffffffffu));
+  ASSERT_FALSE(huge_leaf.ok());
+  EXPECT_EQ(huge_leaf.status().code(), StatusCode::kParseError);
+  // Same with a plausible leaf section but a hostile binary-rule count.
+  Result<Nbta> huge_rules =
+      DeserializeNbta(nbta_header + u32(0) + u32(0xffffffffu));
+  ASSERT_FALSE(huge_rules.ok());
+  EXPECT_EQ(huge_rules.status().code(), StatusCode::kParseError);
+
+  // Dbta: an 8-byte header demanding ~2^64 table entries from an empty
+  // payload, plus a shape whose num_symbols * num_states^2 product would
+  // wrap 64-bit arithmetic if it were computed unchecked.
+  Result<Dbta> huge_dims =
+      DeserializeDbta(u32(0xffffffffu) + u32(0xffffffffu));
+  ASSERT_FALSE(huge_dims.ok());
+  EXPECT_EQ(huge_dims.status().code(), StatusCode::kParseError);
+  Result<Dbta> wrapping =
+      DeserializeDbta(u32(1u << 22) + u32(1u << 21) + std::string(64, '\0'));
+  ASSERT_FALSE(wrapping.ok());
+  EXPECT_EQ(wrapping.status().code(), StatusCode::kParseError);
+}
+
 TEST(SerializeTest, ChecksumDetectsBitFlips) {
   const std::string bytes = NbtaBytesOf(SampleNbta(0x99));
   std::string flipped = bytes;

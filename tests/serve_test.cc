@@ -164,6 +164,30 @@ TEST(ServeProtocolTest, ErrorResponseCarriesNoBody) {
   EXPECT_EQ(back->header.request_id, 9u);
 }
 
+// A hostile or buggy server could declare millions of artifact-list entries
+// in a tiny payload; the client must reject the count before reserving
+// (~40 bytes per claimed entry) rather than after a huge allocation.
+TEST(ServeProtocolTest, ListArtifactsCountBeyondPayloadIsRejected) {
+  std::string bytes;
+  auto put_u8 = [&bytes](uint8_t v) {
+    bytes.push_back(static_cast<char>(v));
+  };
+  auto put_u32 = [&bytes](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put_u8(kWireVersion);
+  put_u8(static_cast<uint8_t>(Opcode::kListArtifacts));
+  put_u32(/*request_id=*/1);
+  put_u8(static_cast<uint8_t>(WireStatus::kOk));
+  put_u32(/*detail length=*/0);
+  put_u32(/*count=*/4u << 20);  // ~4M entries declared, zero entries present
+  Result<Response> r = DecodeResponse(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
 // ---------------------------------------------------------------------------
 // Frame decoding.
 // ---------------------------------------------------------------------------
