@@ -1,13 +1,16 @@
-// Ablation: the three complete regularization/typechecking paths on the
-// *same* instances — the paper's Theorem 4.7 MSO pipeline, the 1-pebble
-// behavior composition (this library's extension), and the downward subset
-// construction (for machines in that fragment). Same verdicts, wildly
+// Ablation: four typechecking paths on the *same* instances — the paper's
+// Theorem 4.7 MSO pipeline, the 1-pebble behavior composition (this
+// library's extension), the downward subset construction (for machines in
+// that fragment), and the antichain bounded-refutation engine
+// (docs/INCLUSION.md), which answers the question the first three build an
+// automaton for without constructing anything. Same verdicts, wildly
 // different costs: the ladder the typechecker's escalation is built on.
 
 #include <benchmark/benchmark.h>
 
 #include "src/common/check.h"
 #include "src/core/downward.h"
+#include "src/core/typechecker.h"
 #include "src/pa/behavior.h"
 #include "src/pa/product.h"
 #include "src/pa/to_mso.h"
@@ -96,9 +99,41 @@ void BM_PathDownward(benchmark::State& state) {
 }
 BENCHMARK(BM_PathDownward)->Unit(benchmark::kMicrosecond);
 
+void BM_PathAntichain(benchmark::State& state) {
+  // Fourth path: no bad-inputs automaton at all. The bounded-refutation
+  // pass with the antichain engine (docs/INCLUSION.md) decides the question
+  // the other three paths build an automaton for — "is some τ1 input mapped
+  // outside τ2?" — and exhibits a concrete witness. Complete-decision and
+  // the downward fast path are disabled so the timing isolates pass 1.
+  static const Instance* inst = new Instance();
+  Typechecker tc(inst->copy, inst->sigma, inst->sigma);
+  Nbta tau1;  // universal τ1: every tree over the shared alphabet
+  tau1.num_symbols = 3;
+  StateId u = tau1.AddState();
+  tau1.accepting[u] = true;
+  tau1.AddLeafRule(inst->sigma.Find("l"), u);
+  tau1.AddLeafRule(inst->sigma.Find("m"), u);
+  tau1.AddRule(inst->sigma.Find("n"), u, u, u);
+  TypecheckOptions opts;
+  opts.inclusion = TaInclusionPath::kAntichain;
+  opts.run_complete_decision = false;
+  bool refuted = false;
+  for (auto _ : state) {
+    auto r = tc.Typecheck(tau1, inst->tau2, opts);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    refuted = r->verdict == TypecheckVerdict::kCounterexample;
+    PEBBLETC_CHECK(refuted);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["found_counterexample"] = refuted ? 1 : 0;
+}
+BENCHMARK(BM_PathAntichain)->Unit(benchmark::kMicrosecond);
+
 void BM_PathsAgree(benchmark::State& state) {
-  // Not a timing series: asserts once per run that the three paths produce
-  // language-equivalent automata, then reports 1.
+  // Not a timing series: asserts once per run that the three
+  // automaton-building paths produce language-equivalent automata and that
+  // the antichain path's verdict matches their (non-)emptiness, then
+  // reports 1.
   static const Instance* inst = new Instance();
   bool agree = false;
   for (auto _ : state) {
@@ -121,9 +156,28 @@ void BM_PathsAgree(benchmark::State& state) {
         std::move(NbtaEquivalent(by_behavior, by_down, inst->sigma))
             .ValueOrDie();
     PEBBLETC_CHECK(agree);
+    // Fourth path: the bad-inputs automaton is non-empty exactly when the
+    // antichain bounded-refutation pass finds a counterexample.
+    Typechecker tc(inst->copy, inst->sigma, inst->sigma);
+    Nbta tau1;
+    tau1.num_symbols = 3;
+    StateId u = tau1.AddState();
+    tau1.accepting[u] = true;
+    tau1.AddLeafRule(inst->sigma.Find("l"), u);
+    tau1.AddLeafRule(inst->sigma.Find("m"), u);
+    tau1.AddRule(inst->sigma.Find("n"), u, u, u);
+    TypecheckOptions opts;
+    opts.inclusion = TaInclusionPath::kAntichain;
+    opts.run_complete_decision = false;
+    auto tcr = tc.Typecheck(tau1, inst->tau2, opts);
+    PEBBLETC_CHECK(tcr.ok()) << tcr.status().ToString();
+    const bool bad_inputs_exist = !IsEmptyNbta(TrimNbta(by_mso));
+    agree = agree && (tcr->verdict == TypecheckVerdict::kCounterexample) ==
+                         bad_inputs_exist;
+    PEBBLETC_CHECK(agree);
     benchmark::DoNotOptimize(agree);
   }
-  state.counters["all_three_agree"] = agree ? 1 : 0;
+  state.counters["all_four_agree"] = agree ? 1 : 0;
 }
 BENCHMARK(BM_PathsAgree)->Iterations(1)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,243 @@
+// E17 (docs/INCLUSION.md): antichain on-the-fly inclusion against the
+// explicit determinize+complement pipeline it replaced, on the instances
+// where each regime shows.
+//
+// Dense series: the E13/E11 dense family (DiffcheckAlphabet, seed 13,
+// rule_density 0.3) — pairs of independently drawn automata, where the
+// explicit path pays the full subset construction of ¬B before it can even
+// start looking for a counterexample, while the antichain search usually
+// refutes from a shallow frontier. Holds series: A ∩ B ⊆ B by construction,
+// so the antichain must drain its whole frontier (its worst regime) — an
+// honest cost ceiling, not a best case. Blowup series: wide dense B whose
+// complement determinization exceeds max_det_states, so the explicit path
+// returns kResourceExhausted on every size while the antichain decides the
+// same query outright — the family EXPERIMENTS.md E17 narrates.
+//
+// CI runs this binary with tiny sizes in the bench-smoke job and uploads
+// the JSON as the BENCH_inclusion.json artifact; the checked-in
+// BENCH_inclusion.json records the before/after numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/check/diffcheck.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/ta/inclusion.h"
+#include "src/ta/nbta.h"
+#include "src/ta/nbta_index.h"
+#include "src/ta/op_context.h"
+#include "src/ta/random_ta.h"
+
+namespace pebbletc {
+namespace {
+
+// The E13/E11 dense family: same alphabet, seed base, and density as
+// bench_determinize / bench_diffcheck, so numbers stay comparable across
+// the EXPERIMENTS.md rows.
+Nbta DrawDense(const RankedAlphabet& sigma, uint32_t states, uint64_t seed) {
+  Rng rng(seed);
+  RandomNbtaOptions opts;
+  opts.num_states = states;
+  opts.rule_density = 0.3;
+  opts.leaf_density = 0.5;
+  return RandomNbta(sigma, rng, opts);
+}
+
+// The explicit pipeline the antichain path replaces: complement B (subset
+// construction), intersect with A, search the product for a witness.
+Result<NbtaInclusionResult> ExplicitIncluded(const Nbta& a, const Nbta& b,
+                                             const RankedAlphabet& sigma,
+                                             TaOpContext* ctx) {
+  NbtaIndex idx_b(b, ctx);
+  PEBBLETC_ASSIGN_OR_RETURN(Nbta comp, ComplementNbta(idx_b, sigma, ctx));
+  Nbta bad = IntersectNbta(NbtaIndex(a, ctx), NbtaIndex(comp, ctx), ctx);
+  NbtaInclusionResult r;
+  std::optional<BinaryTree> w = WitnessTree(NbtaIndex(bad, ctx), ctx);
+  r.included = !w.has_value();
+  r.counterexample = std::move(w);
+  return r;
+}
+
+void ReportInclusionCounters(benchmark::State& state, const TaOpContext& ctx,
+                             bool included) {
+  state.counters["included"] = included ? 1 : 0;
+  state.counters["pairs_interned"] =
+      static_cast<double>(ctx.counters.incl_pairs_interned);
+  state.counters["pairs_pruned"] =
+      static_cast<double>(ctx.counters.incl_pairs_pruned);
+  state.counters["det_states"] =
+      static_cast<double>(ctx.counters.states_materialized);
+}
+
+// --------------------------------------------------- dense (refuted) -------
+
+void BM_InclusionDenseExplicit(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Nbta a = DrawDense(sigma, n, 13);
+  Nbta b = DrawDense(sigma, n, 14);
+  TaOpContext last;
+  bool included = false;
+  for (auto _ : state) {
+    TaOpContext ctx;
+    auto r = ExplicitIncluded(a, b, sigma, &ctx);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    included = r->included;
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  ReportInclusionCounters(state, last, included);
+}
+// Capped at 8 input states — tighter than the E13 dense determinize series
+// (10), because this path additionally pays the complement's completion
+// table (4 · det² rules) AND the A × ¬B product before the witness scan;
+// at 10 that product no longer fits in memory.
+BENCHMARK(BM_InclusionDenseExplicit)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_InclusionDenseAntichain(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Nbta a = DrawDense(sigma, n, 13);
+  Nbta b = DrawDense(sigma, n, 14);
+  NbtaIndex idx_a(a);
+  NbtaIndex idx_b(b);
+  TaOpContext last;
+  bool included = false;
+  for (auto _ : state) {
+    TaOpContext ctx;
+    auto r = NbtaIncludedIn(idx_a, idx_b, sigma, &ctx);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    included = r->included;
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  ReportInclusionCounters(state, last, included);
+}
+BENCHMARK(BM_InclusionDenseAntichain)->Arg(4)->Arg(6)->Arg(8);
+
+// --------------------------------------------------- dense (holds) ---------
+
+// A := A0 ∩ B makes the inclusion hold by construction: the antichain search
+// must drain its entire frontier instead of stopping at the first bad pair.
+std::pair<Nbta, Nbta> HoldsPair(const RankedAlphabet& sigma, uint32_t n) {
+  Nbta a0 = DrawDense(sigma, n, 13);
+  Nbta b = DrawDense(sigma, n, 14);
+  Nbta a = IntersectNbta(NbtaIndex(a0), NbtaIndex(b));
+  return {std::move(a), std::move(b)};
+}
+
+void BM_InclusionHoldsExplicit(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  auto [a, b] = HoldsPair(sigma, static_cast<uint32_t>(state.range(0)));
+  TaOpContext last;
+  bool included = false;
+  for (auto _ : state) {
+    TaOpContext ctx;
+    auto r = ExplicitIncluded(a, b, sigma, &ctx);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    PEBBLETC_CHECK(r->included);
+    included = r->included;
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  ReportInclusionCounters(state, last, included);
+}
+// Capped at 8: the intersection A already carries quadratically many rules,
+// and at 10 the explicit side's product A × ¬B no longer fits in memory —
+// the antichain column keeps going (see the blowup series for that story).
+BENCHMARK(BM_InclusionHoldsExplicit)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_InclusionHoldsAntichain(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  auto [a, b] = HoldsPair(sigma, static_cast<uint32_t>(state.range(0)));
+  NbtaIndex idx_a(a);
+  NbtaIndex idx_b(b);
+  TaOpContext last;
+  bool included = false;
+  for (auto _ : state) {
+    TaOpContext ctx;
+    auto r = NbtaIncludedIn(idx_a, idx_b, sigma, &ctx);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    PEBBLETC_CHECK(r->included);
+    included = r->included;
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  ReportInclusionCounters(state, last, included);
+}
+BENCHMARK(BM_InclusionHoldsAntichain)->Arg(4)->Arg(6)->Arg(8);
+
+// --------------------------------------------------- blowup ----------------
+
+// Wide dense B: the subset construction of ¬B wants far more than the
+// budget (dense automata keep most of the 2^n subsets reachable, E13), so
+// the explicit pipeline exhausts at every size here — by state budget or by
+// deadline, whichever lands first. The antichain search answers the same
+// query from the pairs actually reached, under the identical caps.
+constexpr size_t kBlowupDetBudget = 50000;
+constexpr int64_t kBlowupDeadlineMs = 2000;
+
+TaOpContext BlowupCtx() {
+  TaOpContext ctx;
+  ctx.budgets.max_det_states = kBlowupDetBudget;
+  ctx.budgets.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(kBlowupDeadlineMs);
+  return ctx;
+}
+
+void BM_InclusionBlowupExplicit(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Nbta a = DrawDense(sigma, 6, 13);
+  Nbta b = DrawDense(sigma, n, 14);
+  TaOpContext last;
+  bool solved = false;
+  for (auto _ : state) {
+    TaOpContext ctx = BlowupCtx();
+    auto r = ExplicitIncluded(a, b, sigma, &ctx);
+    // The family exists because this path cannot finish: anything but an
+    // exhaustion is a bug in the family, not a measurement.
+    PEBBLETC_CHECK(!r.ok() &&
+                   (r.status().code() == StatusCode::kResourceExhausted ||
+                    r.status().code() == StatusCode::kDeadlineExceeded))
+        << (r.ok() ? "unexpectedly solved" : r.status().ToString());
+    solved = r.ok();
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  state.counters["solved"] = solved ? 1 : 0;
+  state.counters["det_states"] =
+      static_cast<double>(last.counters.states_materialized);
+}
+BENCHMARK(BM_InclusionBlowupExplicit)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_InclusionBlowupAntichain(benchmark::State& state) {
+  RankedAlphabet sigma = DiffcheckAlphabet(/*extended=*/false);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Nbta a = DrawDense(sigma, 6, 13);
+  Nbta b = DrawDense(sigma, n, 14);
+  NbtaIndex idx_a(a);
+  NbtaIndex idx_b(b);
+  TaOpContext last;
+  bool included = false;
+  for (auto _ : state) {
+    TaOpContext ctx = BlowupCtx();  // same caps, for parity
+    auto r = NbtaIncludedIn(idx_a, idx_b, sigma, &ctx);
+    PEBBLETC_CHECK(r.ok()) << r.status().ToString();
+    included = r->included;
+    benchmark::DoNotOptimize(r);
+    last = ctx;
+  }
+  state.counters["solved"] = 1;
+  ReportInclusionCounters(state, last, included);
+}
+BENCHMARK(BM_InclusionBlowupAntichain)->Arg(14)->Arg(16)->Arg(18);
+
+}  // namespace
+}  // namespace pebbletc

@@ -22,6 +22,7 @@
 #include "src/pt/paper_machines.h"
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
+#include "src/ta/inclusion.h"
 #include "src/ta/nbta.h"
 #include "src/ta/nbta_index.h"
 #include "src/ta/op_cache.h"
@@ -326,6 +327,8 @@ class Harness {
   void CheckEnumerate(size_t iter, bool extended, const Nbta& a,
                       const std::vector<BinaryTree>& exhaustive,
                       bool truncated);
+  void CheckInclusion(size_t iter, bool extended, const Nbta& a,
+                      const Nbta& b);
   void CheckTypechecker(size_t iter, Rng& rng);
   void CheckInferInverse(size_t iter, Rng& rng);
 
@@ -758,6 +761,8 @@ void Harness::RunIteration(size_t iter) {
     }
   }
 
+  CheckInclusion(iter, extended, a, b);
+
   if (opts_.memo) {
     CheckMemo(iter, extended, a, b, comp_a, inter, exhaustive, samples);
   }
@@ -1144,6 +1149,154 @@ void Harness::CheckRelabelImage(size_t iter, const Nbta& a) {
   }
 }
 
+void Harness::CheckInclusion(size_t iter, bool extended, const Nbta& a,
+                             const Nbta& b) {
+  if (LawDone("inclusion/agree") && LawDone("inclusion/witness") &&
+      LawDone("inclusion/equiv-symmetric") &&
+      (!opts_.memo || LawDone("inclusion/memo-exact"))) {
+    return;
+  }
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+
+  // Reference decision: L(A) ⊆ L(B) ⟺ L(A) ∩ ¬L(B) = ∅, with naive ops on
+  // these ≤6-state instances.
+  Result<Nbta> refcomp_b = RefComplement(b, sigma);
+  PEBBLETC_CHECK(refcomp_b.ok()) << "RefComplement on a <=6-state automaton";
+  const bool ref_included = RefIsEmpty(RefIntersect(a, *refcomp_b));
+
+  TaOpContext ctx = BudgetCtx(opts_);
+  NbtaIndex idx_a(a, &ctx);
+  NbtaIndex idx_b(b, &ctx);
+  std::optional<NbtaInclusionResult> incl = Budgeted(
+      NbtaIncludedIn(idx_a, idx_b, sigma, &ctx), "NbtaIncludedIn", iter);
+  if (!incl.has_value()) return;
+
+  auto fail2 = [&](const char* law, const std::string& detail,
+                   const Pred2& v) {
+    Nbta sa = a, sb = b;
+    BinaryTree dummy;
+    dummy.SetRoot(dummy.AddLeaf(0));
+    if (opts_.shrink && v && v(sa, sb, dummy)) {
+      ShrinkTwoNbtaAndTree(&sa, &sb, &dummy, v);
+    }
+    Fail(law, iter, detail,
+         Repro(law, iter, extended, &sa, &sb, nullptr, detail));
+  };
+
+  if (!LawDone("inclusion/agree")) {
+    ++report_.comparisons;
+    if (incl->included != ref_included) {
+      Pred2 v = [&sigma](const Nbta& ca, const Nbta& cb, const BinaryTree&) {
+        Result<Nbta> rc = RefComplement(cb, sigma);
+        if (!rc.ok()) return false;
+        auto r = NbtaIncludedIn(ca, cb, sigma);
+        return r.ok() &&
+               r->included != RefIsEmpty(RefIntersect(ca, *rc));
+      };
+      fail2("inclusion/agree",
+            "NbtaIncludedIn must agree with the reference decision "
+            "IsEmpty(A ∩ ¬B)",
+            v);
+    }
+  }
+
+  if (!LawDone("inclusion/witness")) {
+    ++report_.comparisons;
+    const bool witness_ok =
+        incl->included
+            ? !incl->counterexample.has_value()
+            : incl->counterexample.has_value() &&
+                  RefAccepts(a, *incl->counterexample) &&
+                  !RefAccepts(b, *incl->counterexample);
+    if (!witness_ok) {
+      Pred2 v = [&sigma](const Nbta& ca, const Nbta& cb, const BinaryTree&) {
+        auto r = NbtaIncludedIn(ca, cb, sigma);
+        if (!r.ok()) return false;
+        if (r->included) return r->counterexample.has_value();
+        return !r->counterexample.has_value() ||
+               !RefAccepts(ca, *r->counterexample) ||
+               RefAccepts(cb, *r->counterexample);
+      };
+      fail2("inclusion/witness",
+            "a refutation must carry a counterexample in L(A) \\ L(B), an "
+            "inclusion must carry none",
+            v);
+    }
+  }
+
+  if (!LawDone("inclusion/equiv-symmetric")) {
+    TaOpContext ctx_rev = BudgetCtx(opts_);
+    std::optional<NbtaInclusionResult> rev =
+        Budgeted(NbtaIncludedIn(idx_b, idx_a, sigma, &ctx_rev),
+                 "NbtaIncludedIn(b,a)", iter);
+    std::optional<bool> eq_ab = Budgeted(NbtaEquivalent(a, b, sigma),
+                                         "NbtaEquivalent(a,b)", iter);
+    std::optional<bool> eq_ba = Budgeted(NbtaEquivalent(b, a, sigma),
+                                         "NbtaEquivalent(b,a)", iter);
+    if (rev.has_value() && eq_ab.has_value() && eq_ba.has_value()) {
+      ++report_.comparisons;
+      const bool want = incl->included && rev->included;
+      if (*eq_ab != want || *eq_ba != want) {
+        Pred2 v = [&sigma](const Nbta& ca, const Nbta& cb,
+                           const BinaryTree&) {
+          auto fwd = NbtaIncludedIn(ca, cb, sigma);
+          auto bwd = NbtaIncludedIn(cb, ca, sigma);
+          auto e1 = NbtaEquivalent(ca, cb, sigma);
+          auto e2 = NbtaEquivalent(cb, ca, sigma);
+          if (!fwd.ok() || !bwd.ok() || !e1.ok() || !e2.ok()) return false;
+          const bool cwant = fwd->included && bwd->included;
+          return *e1 != cwant || *e2 != cwant;
+        };
+        fail2("inclusion/equiv-symmetric",
+              "NbtaEquivalent must equal inclusion in both directions and "
+              "be symmetric in its arguments",
+              v);
+      }
+    }
+  }
+
+  // Law "inclusion/memo-exact": against a fresh cache the same call runs
+  // cold (matching the uncached result, counterexample included), inserts,
+  // then hits — and the hit decodes the structurally identical verdict.
+  if (opts_.memo && !LawDone("inclusion/memo-exact")) {
+    TaOpCache fresh(4ull << 20);
+    const TaAlgebra alg(&fresh);
+    auto memo_ctx = [this] {
+      TaOpContext c = BudgetCtx(opts_);
+      c.budgets.memo = TaMemoMode::kInMemory;
+      c.budgets.num_threads = 1;
+      return c;
+    };
+    TaOpContext miss_ctx = memo_ctx();
+    TaOpContext hit_ctx = memo_ctx();
+    std::optional<NbtaInclusionResult> r1 =
+        Budgeted(alg.IncludedIn(idx_a, idx_b, sigma, &miss_ctx),
+                 "memo IncludedIn (miss)", iter);
+    std::optional<NbtaInclusionResult> r2 =
+        Budgeted(alg.IncludedIn(idx_a, idx_b, sigma, &hit_ctx),
+                 "memo IncludedIn (hit)", iter);
+    if (r1.has_value() && r2.has_value()) {
+      ++report_.comparisons;
+      bool exact = r1->included == incl->included &&
+                   r2->included == incl->included &&
+                   miss_ctx.counters.memo_misses == 1 &&
+                   hit_ctx.counters.memo_hits == 1;
+      if (exact && !incl->included) {
+        exact = r1->counterexample.has_value() &&
+                r2->counterexample.has_value() &&
+                *r1->counterexample == *incl->counterexample &&
+                *r2->counterexample == *r1->counterexample;
+      }
+      if (!exact) {
+        fail2("inclusion/memo-exact",
+              "a warm inclusion verdict must replay the cold one exactly "
+              "(verdict, counterexample, and hit/miss accounting)",
+              Pred2());
+      }
+    }
+  }
+}
+
 void Harness::CheckTypechecker(size_t iter, Rng& rng) {
   if (LawDone("typecheck/verdict") && LawDone("typecheck/witness")) return;
   // Small types keep the reference decision (a full naive
@@ -1197,6 +1350,58 @@ void Harness::CheckTypechecker(size_t iter, Rng& rng) {
                std::to_string(static_cast<int>(wres->verdict)) + ")",
            Repro("memo/verdict", iter, false, &tau1, &tau2, nullptr,
                  "memo and cold runs return the same verdict"));
+    }
+  }
+
+  // Laws "typecheck/antichain-verdict" and "typecheck/antichain-witness":
+  // the whole ladder re-run on the antichain inclusion path
+  // (docs/INCLUSION.md) must reach the same verdict as the explicit
+  // pipeline, with the identical counterexample input; the violating output
+  // is engine-specific but for the copy transducer must equal the input.
+  if (!LawDone("typecheck/antichain-verdict") ||
+      !LawDone("typecheck/antichain-witness")) {
+    TypecheckOptions anti_opts = TcOptions();
+    anti_opts.inclusion = TaInclusionPath::kAntichain;
+    Result<TypecheckResult> ares = tc.Typecheck(tau1, tau2, anti_opts);
+    ++report_.comparisons;
+    if (!ares.ok()) {
+      Fail("typecheck/antichain-verdict", iter,
+           "Typecheck on the antichain path failed outright: " +
+               ares.status().ToString(),
+           Repro("typecheck/antichain-verdict", iter, false, &tau1, &tau2,
+                 nullptr, "antichain and explicit runs agree"));
+    } else if (ares->exhausted.exhausted || res->exhausted.exhausted) {
+      // A budget cut on either side makes the verdicts incomparable.
+      ++report_.budget_skips;
+    } else if (ares->verdict != res->verdict) {
+      Fail("typecheck/antichain-verdict", iter,
+           "verdict changed on the antichain path (explicit " +
+               std::to_string(static_cast<int>(res->verdict)) +
+               ", antichain " +
+               std::to_string(static_cast<int>(ares->verdict)) + ")",
+           Repro("typecheck/antichain-verdict", iter, false, &tau1, &tau2,
+                 nullptr, "antichain and explicit runs agree"));
+    } else if (ares->verdict == TypecheckVerdict::kCounterexample &&
+               !LawDone("typecheck/antichain-witness")) {
+      ++report_.comparisons;
+      const bool same_input =
+          ares->counterexample_input.has_value() &&
+          res->counterexample_input.has_value() &&
+          *ares->counterexample_input == *res->counterexample_input;
+      const bool output_ok =
+          !ares->counterexample_output.has_value() ||
+          *ares->counterexample_output == *ares->counterexample_input;
+      if (!same_input || !output_ok) {
+        Fail("typecheck/antichain-witness", iter,
+             "the antichain path must report the same counterexample input "
+             "as the explicit pipeline (and, for the copy transducer, an "
+             "output equal to it)",
+             Repro("typecheck/antichain-witness", iter, false, &tau1, &tau2,
+                   ares->counterexample_input.has_value()
+                       ? &*ares->counterexample_input
+                       : nullptr,
+                   "antichain counterexample matches explicit"));
+      }
     }
   }
 

@@ -14,6 +14,7 @@
 #include "src/pt/eval.h"
 #include "src/ta/convert.h"
 #include "src/ta/enumerate.h"
+#include "src/ta/inclusion.h"
 #include "src/ta/nbta_index.h"
 #include "src/ta/op_cache.h"
 #include "src/ta/thread_pool.h"
@@ -30,6 +31,7 @@ TaOpContext MakeContext(const TypecheckOptions& options) {
   TaOpBudgets budgets;
   budgets.max_det_states = options.max_det_states;
   budgets.max_configs = options.max_configs;
+  budgets.max_antichain_pairs = options.max_antichain_pairs;
   budgets.fastpath_max_states = options.fastpath_max_states;
   budgets.behavior_max_state_bits = options.behavior_max_state_bits;
   budgets.behavior_max_behaviors = options.behavior_max_behaviors;
@@ -53,6 +55,20 @@ bool IsExhaustion(StatusCode code) {
   return code == StatusCode::kResourceExhausted ||
          code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kCancelled || code == StatusCode::kLimitExceeded;
+}
+
+// Resolves the kAuto inclusion mode against the Martens–Neven fragment
+// detector: antichain when τ2 is bottom-up deterministic (DTD-shaped).
+bool UseAntichain(const TypecheckOptions& options, const Nbta& output_type) {
+  switch (options.inclusion) {
+    case TaInclusionPath::kExplicit:
+      return false;
+    case TaInclusionPath::kAntichain:
+      return true;
+    case TaInclusionPath::kAuto:
+      return NbtaIsBottomUpDeterministic(output_type);
+  }
+  return false;
 }
 
 }  // namespace
@@ -88,12 +104,41 @@ Result<bool> Typechecker::CheckOnInputImpl(
   return true;
 }
 
+Result<bool> Typechecker::CheckOnInputAntichain(
+    const BinaryTree& input, const NbtaIndex& tau2_idx, TaOpContext* ctx,
+    std::optional<BinaryTree>* violating_output) const {
+  PEBBLETC_ASSIGN_OR_RETURN(
+      OutputAutomaton a_t,
+      BuildOutputAutomaton(transducer_, input, ctx->budgets.max_configs, ctx));
+  Nbta outputs = TopDownToNbta(a_t.automaton, ctx);
+  NbtaIndex outputs_idx(outputs, ctx);
+  // Like the per-input product above, the per-input inclusion bypasses the
+  // op cache: every enumerated tree yields a distinct operand hash that
+  // would never be re-hit (docs/CACHING.md).
+  PEBBLETC_ASSIGN_OR_RETURN(
+      NbtaInclusionResult incl,
+      NbtaIncludedIn(outputs_idx, tau2_idx, output_alphabet_, ctx));
+  if (!incl.included) {
+    if (violating_output != nullptr) {
+      *violating_output = std::move(incl.counterexample);
+    }
+    return false;
+  }
+  return true;
+}
+
 Result<bool> Typechecker::CheckOnInput(
     const BinaryTree& input, const Nbta& output_type,
     const TypecheckOptions& options,
     std::optional<BinaryTree>* violating_output) const {
   TaOpContext ctx = MakeContext(options);
   const TaAlgebra alg;
+  if (UseAntichain(options, output_type)) {
+    // Complement-free: nothing to overlap with the forward image, so the
+    // antichain path is always serial (docs/INCLUSION.md).
+    NbtaIndex tau2_idx(output_type, &ctx);
+    return CheckOnInputAntichain(input, tau2_idx, &ctx, violating_output);
+  }
   if (TaEffectiveThreads(&ctx) < 2) {
     PEBBLETC_ASSIGN_OR_RETURN(
         Nbta not_tau2,
@@ -260,53 +305,94 @@ Result<TypecheckResult> Typechecker::Typecheck(
     }
   };
 
-  // complement(τ2) is the workhorse of every pass; compute it (and its rule
-  // index) once and share it, instead of re-determinizing per pass — and,
-  // in the refutation pass, per enumerated input tree. With a parallel
-  // budget, pass 1's τ1 enumeration (independent of the complement) runs
-  // concurrently as a second share (docs/PARALLEL.md).
+  // complement(τ2) is the workhorse of the explicit passes; compute it (and
+  // its rule index) once and share it, instead of re-determinizing per pass
+  // — and, in the refutation pass, per enumerated input tree. With a
+  // parallel budget, pass 1's τ1 enumeration (independent of the complement)
+  // runs concurrently as a second share (docs/PARALLEL.md). On the antichain
+  // path (docs/INCLUSION.md) pass 1 never touches the complement, so it is
+  // deferred until a later pass asks for it (ensure_complement below): a
+  // pass-1 refutation returns without ever determinizing τ2.
+  const bool use_antichain = UseAntichain(options, output_type);
   std::optional<std::vector<BinaryTree>> enumerated;
   std::optional<Result<Nbta>> complement_or;
-  if (TaEffectiveThreads(&ctx) >= 2 && options.refutation_max_trees > 0) {
-    TaOpContext c0 = ctx.Fork();
-    TaOpContext c1 = ctx.Fork();
-    std::vector<BinaryTree> inputs;
-    TaThreadPool::Instance().Run(2, [&](uint32_t w) {
-      if (w == 0) {
-        complement_or = alg.Complement(NbtaIndex(output_type, &c0),
-                                       output_alphabet_, &c0);
-      } else {
-        inputs =
-            EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
-                                   options.refutation_max_trees, &c1);
-      }
-    });
-    ctx.MergeChild(c0);
-    ctx.MergeChild(c1);
-    // An interrupted enumeration is a usable prefix — pass 1 is best-effort
-    // sampling anyway; exactness lives in passes 2/3.
-    enumerated = std::move(inputs);
-  } else {
-    complement_or =
-        alg.Complement(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
-  }
-  Result<Nbta>& not_tau2_or = *complement_or;
-  if (!not_tau2_or.ok()) {
-    if (!IsExhaustion(not_tau2_or.status().code())) {
-      return not_tau2_or.status();
+  if (!use_antichain) {
+    if (TaEffectiveThreads(&ctx) >= 2 && options.refutation_max_trees > 0) {
+      TaOpContext c0 = ctx.Fork();
+      TaOpContext c1 = ctx.Fork();
+      std::vector<BinaryTree> inputs;
+      TaThreadPool::Instance().Run(2, [&](uint32_t w) {
+        if (w == 0) {
+          complement_or = alg.Complement(NbtaIndex(output_type, &c0),
+                                         output_alphabet_, &c0);
+        } else {
+          inputs =
+              EnumerateAcceptedTrees(input_type, options.refutation_max_nodes,
+                                     options.refutation_max_trees, &c1);
+        }
+      });
+      ctx.MergeChild(c0);
+      ctx.MergeChild(c1);
+      // An interrupted enumeration is a usable prefix — pass 1 is
+      // best-effort sampling anyway; exactness lives in passes 2/3.
+      enumerated = std::move(inputs);
+    } else {
+      complement_or =
+          alg.Complement(NbtaIndex(output_type, &ctx), output_alphabet_, &ctx);
     }
-    note_exhaustion("output-complement", not_tau2_or.status());
-    // Every exact pass needs the complement, but the degraded search tests
-    // τ2 membership directly and can still refute.
-    RunDegradedSearch(input_type, output_type, options, &result);
-    result.op_counters = ctx.counters;
-    return result;
+    if (!complement_or->ok()) {
+      if (!IsExhaustion(complement_or->status().code())) {
+        return complement_or->status();
+      }
+      note_exhaustion("output-complement", complement_or->status());
+      // Every explicit pass needs the complement, but the degraded search
+      // tests τ2 membership directly and can still refute.
+      RunDegradedSearch(input_type, output_type, options, &result);
+      result.op_counters = ctx.counters;
+      return result;
+    }
   }
-  Nbta not_tau2 = TrimNbta(NbtaIndex(*not_tau2_or, &ctx), &ctx);
-  NbtaIndex not_tau2_idx(not_tau2, &ctx);
+
+  // Lazily materialized complement artifacts. ensure_complement() yields
+  // true once the trimmed complement and its index are available, false
+  // after noting an exhaustion (at most once; later passes skip silently),
+  // and propagates hard errors. On the explicit path the complement already
+  // exists, so the first call only trims and indexes it — bit-for-bit the
+  // legacy sequence.
+  std::optional<Nbta> not_tau2;
+  std::optional<NbtaIndex> not_tau2_idx;
+  bool complement_failed = false;
+  auto ensure_complement = [&]() -> Result<bool> {
+    if (not_tau2_idx.has_value()) return true;
+    if (complement_failed) return false;
+    if (!complement_or.has_value()) {
+      complement_or = alg.Complement(NbtaIndex(output_type, &ctx),
+                                     output_alphabet_, &ctx);
+    }
+    if (!complement_or->ok()) {
+      if (!IsExhaustion(complement_or->status().code())) {
+        return complement_or->status();
+      }
+      note_exhaustion("output-complement", complement_or->status());
+      complement_failed = true;
+      return false;
+    }
+    not_tau2 = TrimNbta(NbtaIndex(**complement_or, &ctx), &ctx);
+    not_tau2_idx.emplace(*not_tau2, &ctx);
+    return true;
+  };
+  if (!use_antichain) {
+    // Success is guaranteed here (the eager block above returned on
+    // failure); this just materializes the shared trimmed index for pass 1.
+    PEBBLETC_RETURN_IF_ERROR(ensure_complement().status());
+  }
 
   // Pass 1: bounded refutation — exact per-input checks on small τ1 trees.
+  // Antichain mode checks image(input) ⊆ τ2 directly against a shared τ2
+  // index; explicit mode intersects with the complement index built above.
   if (options.refutation_max_trees > 0) {
+    std::optional<NbtaIndex> tau2_idx;
+    if (use_antichain) tau2_idx.emplace(output_type, &ctx);
     std::vector<BinaryTree> inputs =
         enumerated.has_value()
             ? std::move(*enumerated)
@@ -314,7 +400,10 @@ Result<TypecheckResult> Typechecker::Typecheck(
                                      options.refutation_max_trees, &ctx);
     for (BinaryTree& input : inputs) {
       std::optional<BinaryTree> violating;
-      auto ok = CheckOnInputImpl(input, not_tau2_idx, &ctx, &violating);
+      auto ok =
+          use_antichain
+              ? CheckOnInputAntichain(input, *tau2_idx, &ctx, &violating)
+              : CheckOnInputImpl(input, *not_tau2_idx, &ctx, &violating);
       if (!ok.ok()) {
         if (!IsExhaustion(ok.status().code())) return ok.status();
         note_exhaustion("bounded-refutation", ok.status());
@@ -331,11 +420,20 @@ Result<TypecheckResult> Typechecker::Typecheck(
     }
   }
 
+  // Passes 2/3 need the explicit complement even in antichain mode (pass 2
+  // determinizes ¬τ2; pass 3 inverts it). If the deferred complement
+  // exhausts its budget here, those passes are skipped with the exhaustion
+  // noted — exactly what an explicit-mode run would have recorded up front.
+  bool have_complement = false;
+  if (IsDownwardTransducer(transducer_) || options.run_complete_decision) {
+    PEBBLETC_ASSIGN_OR_RETURN(have_complement, ensure_complement());
+  }
+
   // Pass 2: complete decision for the downward fragment.
-  if (IsDownwardTransducer(transducer_)) {
+  if (IsDownwardTransducer(transducer_) && have_complement) {
     auto verdict = [&]() -> Result<TypecheckResult> {
       PEBBLETC_ASSIGN_OR_RETURN(
-          Dbta d, alg.Determinize(not_tau2_idx, output_alphabet_, &ctx));
+          Dbta d, alg.Determinize(*not_tau2_idx, output_alphabet_, &ctx));
       PEBBLETC_ASSIGN_OR_RETURN(
           Nbta bad_inputs,
           DownwardProductAutomaton(transducer_, d, input_alphabet_, &ctx));
@@ -359,7 +457,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
       // Recover a violating output for the witness input.
       std::optional<BinaryTree> violating;
       auto per_tree =
-          CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
+          CheckOnInputImpl(*witness, *not_tau2_idx, &ctx, &violating);
       if (per_tree.ok() && !*per_tree) {
         r.counterexample_output = std::move(violating);
       }
@@ -379,9 +477,9 @@ Result<TypecheckResult> Typechecker::Typecheck(
   }
 
   // Pass 3: the complete (non-elementary) decision.
-  if (options.run_complete_decision) {
+  if (options.run_complete_decision && have_complement) {
     std::string method = "mso-complete";
-    auto bad = BadInputsAutomaton(not_tau2, options, &result.mso_stats,
+    auto bad = BadInputsAutomaton(*not_tau2, options, &result.mso_stats,
                                   &method, &ctx);
     if (bad.ok()) {
       Nbta offending = alg.Intersect(NbtaIndex(input_type, &ctx),
@@ -402,7 +500,7 @@ Result<TypecheckResult> Typechecker::Typecheck(
         result.verdict = TypecheckVerdict::kCounterexample;
         std::optional<BinaryTree> violating;
         auto per_tree =
-            CheckOnInputImpl(*witness, not_tau2_idx, &ctx, &violating);
+            CheckOnInputImpl(*witness, *not_tau2_idx, &ctx, &violating);
         if (per_tree.ok() && !*per_tree) {
           result.counterexample_output = std::move(violating);
         }

@@ -211,6 +211,8 @@ TypecheckOptions RequestOptions(const ServeOptions& server,
   opts.deadline = std::chrono::milliseconds(deadline_ms);
   opts.cancel = cancel;
   opts.max_det_states = server.max_det_states;
+  opts.max_antichain_pairs = server.max_antichain_pairs;
+  opts.inclusion = server.inclusion;
   opts.num_threads = server.num_threads;
   opts.memo = server.memo;  // auto-bypassed when an injector is installed
   opts.fault_injector = injector;

@@ -28,6 +28,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/core/typechecker.h"
 #include "src/serve/admission.h"
 #include "src/serve/protocol.h"
 #include "src/serve/registry.h"
@@ -51,6 +52,12 @@ struct ServeOptions {
   uint32_t default_deadline_ms = 2000;
   /// Budgets forwarded into TypecheckOptions.
   size_t max_det_states = 200000;
+  size_t max_antichain_pairs = 200000;
+  /// Which inclusion engine typecheck requests run (docs/INCLUSION.md):
+  /// kExplicit keeps the legacy determinize+complement pipeline; kAntichain
+  /// forces the on-the-fly check; kAuto picks the antichain path when the
+  /// output type is bottom-up deterministic (DTD-shaped schemas).
+  TaInclusionPath inclusion = TaInclusionPath::kExplicit;
   /// Worker threads per request (1 = serial; the daemon's concurrency comes
   /// from serving requests in parallel, not from intra-request forking).
   uint32_t num_threads = 1;

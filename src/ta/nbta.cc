@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/ta/inclusion.h"
 #include "src/ta/nbta_index.h"
 #include "src/ta/thread_pool.h"
 
@@ -1301,21 +1302,21 @@ std::optional<BinaryTree> WitnessTree(const Nbta& a) {
 
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet, TaOpContext* ctx) {
+  NbtaIndex sub_idx(sub, ctx);
+  NbtaIndex super_idx(super, ctx);
   PEBBLETC_ASSIGN_OR_RETURN(
-      Nbta not_super, ComplementNbta(NbtaIndex(super, ctx), alphabet, ctx));
-  Nbta bad =
-      IntersectNbta(NbtaIndex(sub, ctx), NbtaIndex(not_super, ctx), ctx);
-  bool empty = IsEmptyNbta(NbtaIndex(bad, ctx), ctx);
-  // Emptiness of a partial product proves nothing; a non-empty partial
-  // product is a genuine refutation of inclusion.
-  if (empty) PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
-  return empty;
+      NbtaInclusionResult r,
+      NbtaIncludedIn(sub_idx, super_idx, alphabet, ctx));
+  return r.included;
 }
 
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet, size_t max_states) {
   TaOpContext ctx;
+  // Legacy single-knob form: the one cap bounds whichever engine runs (the
+  // antichain pair arena here; determinization in ops reached downstream).
   ctx.budgets.max_det_states = max_states;
+  if (max_states != 0) ctx.budgets.max_antichain_pairs = max_states;
   return NbtaIncludes(super, sub, alphabet, &ctx);
 }
 
@@ -1331,6 +1332,7 @@ Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
                             size_t max_states) {
   TaOpContext ctx;
   ctx.budgets.max_det_states = max_states;
+  if (max_states != 0) ctx.budgets.max_antichain_pairs = max_states;
   return NbtaEquivalent(a, b, alphabet, &ctx);
 }
 

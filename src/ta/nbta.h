@@ -172,18 +172,26 @@ std::optional<BinaryTree> WitnessTree(const NbtaIndex& a,
                                       TaOpContext* ctx = nullptr);
 std::optional<BinaryTree> WitnessTree(const Nbta& a);
 
-/// inst(sub) ⊆ inst(super)? Determinizes internally (complements `super`),
-/// hence exponential in |super| in the worst case; the `max_det_states`
-/// budget applies and kResourceExhausted / kDeadlineExceeded propagate.
+/// inst(sub) ⊆ inst(super)? Dispatches to the antichain on-the-fly search
+/// (NbtaIncludedIn, src/ta/inclusion.h, docs/INCLUSION.md): no explicit
+/// determinization or complement is materialized; `super`'s subsets are
+/// interned lazily along reachable product pairs and pruned by antichain
+/// subsumption. Still exponential in |super| in the worst case. Budget:
+/// `max_antichain_pairs` bounds the search (the `max_states` convenience
+/// parameter maps onto it; 0 = default budget) and kResourceExhausted /
+/// kDeadlineExceeded / kCancelled propagate. Callers wanting the refuting
+/// tree should call NbtaIncludedIn directly.
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet,
                           size_t max_states = 0);
 Result<bool> NbtaIncludes(const Nbta& super, const Nbta& sub,
                           const RankedAlphabet& alphabet, TaOpContext* ctx);
 
-/// inst(a) = inst(b)? Two inclusion checks, so it determinizes internally
-/// (both directions); `max_det_states` bounds each and kResourceExhausted /
-/// kDeadlineExceeded propagate.
+/// inst(a) = inst(b)? Two antichain inclusion checks (one per direction),
+/// each determinization-free; `max_antichain_pairs` bounds each direction
+/// (the `max_states` convenience parameter maps onto it; 0 = default
+/// budget) and kResourceExhausted / kDeadlineExceeded / kCancelled
+/// propagate.
 Result<bool> NbtaEquivalent(const Nbta& a, const Nbta& b,
                             const RankedAlphabet& alphabet,
                             size_t max_states = 0);

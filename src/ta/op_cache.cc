@@ -620,6 +620,41 @@ Nbta TaAlgebra::Intersect(const NbtaIndex& a, const NbtaIndex& b,
   return r;
 }
 
+Result<NbtaInclusionResult> TaAlgebra::IncludedIn(const NbtaIndex& a,
+                                                  const NbtaIndex& b,
+                                                  const RankedAlphabet& sigma,
+                                                  TaOpContext* ctx) const {
+  if (!Enabled(ctx)) return NbtaIncludedIn(a, b, sigma, ctx);
+  // Operand order is semantic (A ⊆ B vs B ⊆ A), so both hashes enter the
+  // key in place.
+  const TaCacheKey key = MakeTaCacheKey(
+      TaOpKind::kIncludedIn, NbtaStructuralHash(a.nbta()),
+      NbtaStructuralHash(b.nbta()), RankedAlphabetFingerprint(sigma),
+      ctx->budgets.max_antichain_pairs);
+  if (std::shared_ptr<const Nbta> hit = cache_->FindNbta(key, ctx)) {
+    // Decode the verdict automaton: empty language ⇔ included; otherwise
+    // its unique tree is the counterexample.
+    NbtaIndex hit_idx(*hit, ctx);
+    if (IsEmptyNbta(hit_idx, ctx)) {
+      PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+      return NbtaInclusionResult{true, std::nullopt};
+    }
+    std::optional<BinaryTree> witness = WitnessTree(hit_idx, ctx);
+    PEBBLETC_RETURN_IF_ERROR(TaInterruptStatus(ctx));
+    PEBBLETC_CHECK(witness.has_value()) << "non-empty verdict automaton";
+    return NbtaInclusionResult{false, std::move(witness)};
+  }
+  Result<NbtaInclusionResult> r = NbtaIncludedIn(a, b, sigma, ctx);
+  if (r.ok() && TaInterruptStatus(ctx).ok()) {
+    const Nbta verdict =
+        r->included
+            ? EmptyLanguageNbta(sigma)
+            : SingletonTreeNbta(*r->counterexample, a.num_symbols());
+    cache_->InsertNbta(key, verdict, ctx);
+  }
+  return r;
+}
+
 Result<Dbta> TaAlgebra::Minimize(const Dbta& d, const RankedAlphabet& sigma,
                                  TaOpContext* ctx) const {
   if (!Enabled(ctx)) return MinimizeDbta(d, sigma, ctx);

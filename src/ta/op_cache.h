@@ -38,6 +38,7 @@
 
 #include "src/alphabet/alphabet.h"
 #include "src/common/result.h"
+#include "src/ta/inclusion.h"
 #include "src/ta/nbta.h"
 #include "src/ta/op_context.h"
 
@@ -85,6 +86,11 @@ uint64_t RankedAlphabetFingerprint(const RankedAlphabet& sigma);
 /// the *input* hashes (τ1, τ2, transducer) so a warm repeat decision skips
 /// the whole complement/determinize/product chain — including the structural
 /// hashing of the large intermediate automata.
+/// kIncludedIn caches an inclusion *verdict* as an automaton payload: the
+/// empty-language automaton for "included", the singleton automaton of the
+/// counterexample tree for "not included" (decoded on hit via IsEmptyNbta /
+/// WitnessTree) — so verdicts ride the existing Nbta payload, serialization,
+/// and persistence machinery unchanged.
 enum class TaOpKind : uint64_t {
   kDeterminize = 1,
   kComplement = 2,
@@ -92,6 +98,7 @@ enum class TaOpKind : uint64_t {
   kMinimize = 4,
   kDownwardProduct = 5,
   kPipelineOffending = 6,
+  kIncludedIn = 7,
 };
 
 /// A complete cache key: op, both operand fingerprints (b zero for unary
@@ -222,6 +229,16 @@ class TaAlgebra {
                  TaOpContext* ctx) const;
   Result<Dbta> Minimize(const Dbta& d, const RankedAlphabet& sigma,
                         TaOpContext* ctx) const;
+  /// Antichain inclusion (NbtaIncludedIn, docs/INCLUSION.md) with the
+  /// verdict memoized under the kIncludedIn encoding above. The key carries
+  /// `max_antichain_pairs` (a verdict under a small cap is replayable under
+  /// a larger one, but not vice versa). Counterexamples decoded from a warm
+  /// hit are structurally identical to the cold run's (the singleton
+  /// language has exactly one witness).
+  Result<NbtaInclusionResult> IncludedIn(const NbtaIndex& a,
+                                         const NbtaIndex& b,
+                                         const RankedAlphabet& sigma,
+                                         TaOpContext* ctx) const;
 
   TaOpCache* cache() const { return cache_; }
 

@@ -65,11 +65,18 @@ enum class TaMemoMode : uint8_t {
 
 /// All resource budgets consumed by the automaton layer. 0 = unlimited.
 struct TaOpBudgets {
-  /// States per determinization / subset construction (complement,
-  /// inclusion, equivalence all determinize internally).
+  /// States per determinization / subset construction (complementation
+  /// determinizes internally; inclusion/equivalence instead run the
+  /// antichain search bounded by `max_antichain_pairs` below).
   size_t max_det_states = 200000;
   /// Per-tree configuration space for the Prop. 3.8 output automaton.
   size_t max_configs = 1u << 20;
+  /// (A-state, B-state-set) pairs interned by the antichain inclusion search
+  /// (docs/INCLUSION.md). The antichain prunes dominated pairs, so this is
+  /// normally far below the 2^|Q_B| subsets an explicit determinization would
+  /// intern — but the worst case is still exponential, and the search aborts
+  /// with kResourceExhausted once the cap is crossed.
+  size_t max_antichain_pairs = 200000;
   /// Subset budget for the downward fast path's lazy construction.
   size_t fastpath_max_states = 100000;
   /// 1-pebble behavior composition: refuse automata beyond this many state
@@ -123,6 +130,17 @@ struct TaOpCounters {
   size_t det_subsets_interned = 0;
   /// Complementations (each implies a determinization).
   size_t complementations = 0;
+  /// Completed antichain inclusion checks (NbtaIncludedIn runs that reached
+  /// a verdict; exhausted/interrupted runs do not count).
+  size_t inclusions = 0;
+  /// (A-state, B-state-set) pairs interned by antichain inclusion searches,
+  /// counted as they are created (not just on success) so an exhausted run
+  /// still reports how far the frontier got.
+  size_t incl_pairs_interned = 0;
+  /// Candidate pairs discarded by antichain subsumption (a kept pair with a
+  /// ⊆-smaller B-set already dominated them) — the savings the antichain
+  /// buys over the explicit subset construction.
+  size_t incl_pairs_pruned = 0;
   /// Product constructions (intersections and transducer products).
   size_t intersections = 0;
   /// TrimNbta runs.
@@ -227,6 +245,9 @@ class TaOpContext {
     counters.det_pairs_expanded += child.counters.det_pairs_expanded;
     counters.det_subsets_interned += child.counters.det_subsets_interned;
     counters.complementations += child.counters.complementations;
+    counters.inclusions += child.counters.inclusions;
+    counters.incl_pairs_interned += child.counters.incl_pairs_interned;
+    counters.incl_pairs_pruned += child.counters.incl_pairs_pruned;
     counters.intersections += child.counters.intersections;
     counters.trims += child.counters.trims;
     counters.minimizations += child.counters.minimizations;
@@ -312,6 +333,10 @@ class TaOpContext {
 inline size_t TaBudgetMaxDetStates(const TaOpContext* ctx) {
   return ctx != nullptr ? ctx->budgets.max_det_states
                         : TaOpBudgets{}.max_det_states;
+}
+inline size_t TaBudgetMaxAntichainPairs(const TaOpContext* ctx) {
+  return ctx != nullptr ? ctx->budgets.max_antichain_pairs
+                        : TaOpBudgets{}.max_antichain_pairs;
 }
 
 inline void TaCountStates(TaOpContext* ctx, size_t n) {

@@ -12,6 +12,7 @@
 #include "src/core/typechecker.h"
 #include "src/pt/eval.h"
 #include "src/pt/paper_machines.h"
+#include "src/ta/inclusion.h"
 #include "src/ta/nbta.h"
 #include "src/tree/random_tree.h"
 #include "src/tree/term.h"
@@ -136,6 +137,103 @@ TEST(TypecheckTest, FastPathAndRefutationAgree) {
     auto refuted = std::move(tc.Typecheck(*c.t1, *c.t2)).ValueOrDie();
     EXPECT_EQ(refuted.verdict, c.want);
   }
+}
+
+TEST(TypecheckTest, AntichainPathAgreesWithExplicit) {
+  // The antichain fast path (docs/INCLUSION.md) must reach the same verdict
+  // as the explicit determinize+complement pipeline, with an identical
+  // counterexample input and a genuine (if not identical) violating output.
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta a0 = AllLeaves(sigma, sigma.Find("a0"));
+  Nbta b0 = AllLeaves(sigma, sigma.Find("b0"));
+  Nbta uni = UniversalNbta(sigma);
+  TypecheckOptions antichain;
+  antichain.inclusion = TaInclusionPath::kAntichain;
+  struct Case {
+    const Nbta* t1;
+    const Nbta* t2;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {&a0, &a0}, {&a0, &uni}, {&uni, &a0}, {&b0, &a0}, {&uni, &uni}}) {
+    auto explicit_r = std::move(tc.Typecheck(*c.t1, *c.t2)).ValueOrDie();
+    auto anti_r = std::move(tc.Typecheck(*c.t1, *c.t2, antichain)).ValueOrDie();
+    EXPECT_EQ(anti_r.verdict, explicit_r.verdict);
+    EXPECT_EQ(anti_r.counterexample_input.has_value(),
+              explicit_r.counterexample_input.has_value());
+    if (anti_r.verdict == TypecheckVerdict::kCounterexample) {
+      ASSERT_TRUE(anti_r.counterexample_input.has_value());
+      EXPECT_TRUE(*anti_r.counterexample_input ==
+                  *explicit_r.counterexample_input);
+      ASSERT_TRUE(anti_r.counterexample_output.has_value());
+      EXPECT_TRUE(c.t1->Accepts(*anti_r.counterexample_input));
+      EXPECT_FALSE(c.t2->Accepts(*anti_r.counterexample_output));
+      auto member = OutputContains(copy, *anti_r.counterexample_input,
+                                   *anti_r.counterexample_output);
+      ASSERT_TRUE(member.ok());
+      EXPECT_TRUE(*member);
+    }
+  }
+}
+
+TEST(TypecheckTest, AntichainRefutationSkipsComplement) {
+  // A pass-1 refutation on the antichain path must return without ever
+  // complementing (or determinizing) τ2 — that is the point of the path.
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta uni = UniversalNbta(sigma);
+  Nbta a0 = AllLeaves(sigma, sigma.Find("a0"));
+  TypecheckOptions antichain;
+  antichain.inclusion = TaInclusionPath::kAntichain;
+  auto r = std::move(tc.Typecheck(uni, a0, antichain)).ValueOrDie();
+  EXPECT_EQ(r.verdict, TypecheckVerdict::kCounterexample);
+  EXPECT_EQ(r.method, "bounded-refutation");
+  EXPECT_EQ(r.op_counters.complementations, 0u);
+  EXPECT_EQ(r.op_counters.determinizations, 0u);
+  EXPECT_GT(r.op_counters.inclusions, 0u);
+}
+
+TEST(TypecheckTest, AutoSelectsAntichainForDeterministicTau2) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta uni = UniversalNbta(sigma);
+  Nbta det = AllLeaves(sigma, sigma.Find("a0"));  // bottom-up deterministic
+  Nbta nondet = det;  // two states reachable on the same leaf: not in fragment
+  StateId extra = nondet.AddState();
+  nondet.accepting[extra] = true;
+  nondet.AddLeafRule(sigma.Find("a0"), extra);
+  ASSERT_TRUE(NbtaIsBottomUpDeterministic(det));
+  ASSERT_FALSE(NbtaIsBottomUpDeterministic(nondet));
+  TypecheckOptions auto_path;
+  auto_path.inclusion = TaInclusionPath::kAuto;
+  auto r_det = std::move(tc.Typecheck(uni, det, auto_path)).ValueOrDie();
+  EXPECT_EQ(r_det.verdict, TypecheckVerdict::kCounterexample);
+  EXPECT_GT(r_det.op_counters.inclusions, 0u);
+  auto r_nondet = std::move(tc.Typecheck(uni, nondet, auto_path)).ValueOrDie();
+  EXPECT_EQ(r_nondet.verdict, TypecheckVerdict::kCounterexample);
+  EXPECT_EQ(r_nondet.op_counters.inclusions, 0u);  // fell back to explicit
+}
+
+TEST(TypecheckTest, CheckOnInputAntichainIsExact) {
+  RankedAlphabet sigma = TinyRanked();
+  PebbleTransducer copy = MakeCopyTransducer(sigma);
+  Typechecker tc(copy, sigma, sigma);
+  Nbta tau2 = AllLeaves(sigma, sigma.Find("a0"));
+  auto good = std::move(ParseBinaryTerm("a2(a0,a0)", sigma)).ValueOrDie();
+  auto bad = std::move(ParseBinaryTerm("a2(a0,b0)", sigma)).ValueOrDie();
+  TypecheckOptions antichain;
+  antichain.inclusion = TaInclusionPath::kAntichain;
+  EXPECT_TRUE(
+      std::move(tc.CheckOnInput(good, tau2, antichain)).ValueOrDie());
+  std::optional<BinaryTree> violating;
+  auto r = tc.CheckOnInput(bad, tau2, antichain, &violating);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  ASSERT_TRUE(violating.has_value());
+  EXPECT_TRUE(*violating == bad);  // copy: the violating output is the input
 }
 
 TEST(TypecheckTest, EmptyInputTypeAlwaysTypechecks) {

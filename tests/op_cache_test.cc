@@ -460,6 +460,71 @@ TEST(TaAlgebraTest, CachedOpsReplayByteExactly) {
   EXPECT_EQ(NbtaBytesOf(p2), NbtaBytesOf(p1));
 }
 
+TEST(TaAlgebraTest, IncludedInMemoizesVerdictsAndWitnesses) {
+  // Inclusion verdicts ride the Nbta payload (kIncludedIn encoding): a warm
+  // "included" decodes from the empty-language automaton, a warm refutation
+  // decodes the counterexample tree from its singleton automaton — and both
+  // must match the cold result structurally.
+  TaOpCache cache(8 << 20);
+  const TaAlgebra alg(&cache);
+  const RankedAlphabet sigma = DiffcheckAlphabet(false);
+
+  auto memo_ctx = [] {
+    TaOpContext ctx;
+    ctx.budgets.memo = TaMemoMode::kInMemory;
+    ctx.budgets.num_threads = 1;
+    return ctx;
+  };
+
+  // Refuted pair: a random automaton vs. the empty language (any accepted
+  // tree is a counterexample). Sample until the left side is non-empty.
+  Nbta a = SampleNbta(0x4444);
+  for (uint64_t seed = 0x4445; IsEmptyNbta(NbtaIndex(a)); ++seed) {
+    a = SampleNbta(seed);
+  }
+  const NbtaIndex aidx(a);
+  const Nbta none = EmptyLanguageNbta(sigma);
+  const NbtaIndex nidx(none);
+
+  TaOpContext miss_ctx = memo_ctx();
+  auto cold = alg.IncludedIn(aidx, nidx, sigma, &miss_ctx);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->included);
+  ASSERT_TRUE(cold->counterexample.has_value());
+  EXPECT_EQ(miss_ctx.counters.memo_misses, 1u);
+
+  TaOpContext hit_ctx = memo_ctx();
+  auto warm = alg.IncludedIn(aidx, nidx, sigma, &hit_ctx);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(hit_ctx.counters.memo_hits, 1u);
+  EXPECT_EQ(hit_ctx.counters.memo_misses, 0u);
+  EXPECT_FALSE(warm->included);
+  ASSERT_TRUE(warm->counterexample.has_value());
+  EXPECT_TRUE(*warm->counterexample == *cold->counterexample);
+
+  // Included pair: anything against the universal automaton.
+  const Nbta uni = UniversalNbta(sigma);
+  const NbtaIndex uidx(uni);
+  TaOpContext inc_miss = memo_ctx();
+  TaOpContext inc_hit = memo_ctx();
+  auto inc1 = alg.IncludedIn(aidx, uidx, sigma, &inc_miss);
+  auto inc2 = alg.IncludedIn(aidx, uidx, sigma, &inc_hit);
+  ASSERT_TRUE(inc1.ok());
+  ASSERT_TRUE(inc2.ok());
+  EXPECT_EQ(inc_hit.counters.memo_hits, 1u);
+  EXPECT_TRUE(inc1->included);
+  EXPECT_TRUE(inc2->included);
+  EXPECT_FALSE(inc2->counterexample.has_value());
+
+  // Different pair budgets must not alias (the key carries the cap).
+  TaOpContext small_cap = memo_ctx();
+  small_cap.budgets.max_antichain_pairs = 12345;
+  auto r3 = alg.IncludedIn(aidx, uidx, sigma, &small_cap);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(small_cap.counters.memo_hits, 0u);
+  EXPECT_EQ(small_cap.counters.memo_misses, 1u);
+}
+
 TEST(TaAlgebraTest, OffModeBypassesCache) {
   TaOpCache cache(1 << 20);
   const TaAlgebra alg(&cache);

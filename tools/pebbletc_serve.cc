@@ -54,6 +54,11 @@ int Usage(const char* argv0) {
       "  --default-deadline-ms=N     deadline when a request sends none\n"
       "  --max-deadline-ms=N         hard per-request deadline ceiling\n"
       "  --max-det-states=N          determinization budget per request\n"
+      "  --max-antichain-pairs=N     antichain-inclusion budget per request\n"
+      "  --inclusion=explicit|antichain|auto\n"
+      "                              inclusion engine (default explicit;\n"
+      "                              auto picks antichain for DTD-shaped\n"
+      "                              output schemas, see docs/INCLUSION.md)\n"
       "  --memo=off|memory           op-cache mode (default memory)\n"
       "  --no-load                   disable the kLoadArtifact wire op\n",
       argv0);
@@ -104,6 +109,20 @@ int main(int argc, char** argv) {
       uint32_t n = 0;
       if (!ParseU32(v, &n)) return Usage(argv[0]);
       options.max_det_states = n;
+    } else if (const char* v = value("--max-antichain-pairs=")) {
+      uint32_t n = 0;
+      if (!ParseU32(v, &n)) return Usage(argv[0]);
+      options.max_antichain_pairs = n;
+    } else if (const char* v = value("--inclusion=")) {
+      if (std::strcmp(v, "explicit") == 0) {
+        options.inclusion = TaInclusionPath::kExplicit;
+      } else if (std::strcmp(v, "antichain") == 0) {
+        options.inclusion = TaInclusionPath::kAntichain;
+      } else if (std::strcmp(v, "auto") == 0) {
+        options.inclusion = TaInclusionPath::kAuto;
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (const char* v = value("--memo=")) {
       if (std::strcmp(v, "off") == 0) {
         options.memo = TaMemoMode::kOff;
