@@ -25,6 +25,8 @@
 #include "src/ta/inclusion.h"
 #include "src/ta/nbta.h"
 #include "src/ta/nbta_index.h"
+#include "src/serve/validate.h"
+#include "src/ta/membership.h"
 #include "src/ta/op_cache.h"
 #include "src/ta/op_context.h"
 #include "src/ta/serialize.h"
@@ -34,6 +36,7 @@
 #include "src/tree/encode.h"
 #include "src/tree/random_tree.h"
 #include "src/tree/term.h"
+#include "src/xml/xml.h"
 
 namespace pebbletc {
 
@@ -319,6 +322,9 @@ class Harness {
                  const std::vector<BinaryTree>& exhaustive,
                  const std::vector<BinaryTree>& samples);
   void CheckEncodeDecode(size_t iter, Rng& rng);
+  void CheckMembership(size_t iter, bool extended, const Nbta& a,
+                       const std::vector<BinaryTree>& exhaustive,
+                       const std::vector<BinaryTree>& samples, Rng& rng);
   void CheckRelabelInverse(size_t iter, const Nbta& a);
   void CheckRelabelImage(size_t iter, const Nbta& a);
   void CheckCounts(size_t iter, bool extended, const Nbta& a,
@@ -770,6 +776,7 @@ void Harness::RunIteration(size_t iter) {
   CheckCounts(iter, extended, a, det_a, exhaustive, truncated);
   CheckEnumerate(iter, extended, a, exhaustive, truncated);
   CheckEncodeDecode(iter, rng);
+  CheckMembership(iter, extended, a, exhaustive, samples, rng);
   if (!extended) CheckRelabelInverse(iter, a);
   if (extended) CheckRelabelImage(iter, a);
   if (opts_.typecheck_every != 0 && iter % opts_.typecheck_every == 0) {
@@ -1067,6 +1074,192 @@ void Harness::CheckEncodeDecode(size_t iter, Rng& rng) {
          "// unranked input: " + UnrankedTermString(u, tags_) +
              "\n// encoded:      " +
              BinaryTermString(*encoded, enc_.ranked) + "\n");
+  }
+}
+
+void Harness::CheckMembership(size_t iter, bool extended, const Nbta& a,
+                              const std::vector<BinaryTree>& exhaustive,
+                              const std::vector<BinaryTree>& samples,
+                              Rng& rng) {
+  const RankedAlphabet& sigma = extended ? ext_ : base_;
+
+  // Law "membership/compiled": the compiled-DBTA fast path (and its
+  // NbtaAccepts fallback when determinization is over budget — Compile
+  // absorbs kResourceExhausted into a fallback engine, so it never needs a
+  // Budgeted unwrap) agrees with NbtaAccepts on every tree.
+  if (!LawDone("membership/compiled")) {
+    TaOpContext ctx = BudgetCtx(opts_);
+    Result<MembershipEngine> engine = MembershipEngine::Compile(a, sigma, &ctx);
+    if (!engine.ok()) {
+      Fail("harness/op-error", iter,
+           "MembershipEngine::Compile: " + engine.status().ToString(), "");
+    } else {
+      NbtaIndex idx(a);
+      const RankedAlphabet* sig = &sigma;
+      const size_t budget = opts_.max_det_states;
+      Pred1 violated = [sig, budget](const Nbta& ca, const BinaryTree& ct) {
+        TaOpContext cctx;
+        cctx.budgets.max_det_states = budget;
+        Result<MembershipEngine> ce = MembershipEngine::Compile(ca, *sig,
+                                                                &cctx);
+        if (!ce.ok()) return false;
+        Result<bool> got = ce->Accepts(ct);
+        return got.ok() && *got != RefAccepts(ca, ct);
+      };
+      for (size_t k = 0; k < exhaustive.size() + samples.size(); ++k) {
+        const BinaryTree& t =
+            k < exhaustive.size() ? exhaustive[k] : samples[k -
+                                                           exhaustive.size()];
+        ++report_.comparisons;
+        Result<bool> got = engine->Accepts(t);
+        if (!got.ok()) {
+          Fail("membership/compiled", iter,
+               "MembershipEngine::Accepts: " + got.status().ToString(),
+               Repro("membership/compiled", iter, extended, &a, nullptr, &t,
+                     "Accepts returns a verdict, not an error"));
+          break;
+        }
+        if (*got != NbtaAccepts(idx, t)) {
+          FailTree1("membership/compiled", iter, extended, a, t,
+                    "compiled-DBTA membership agrees with NbtaAccepts",
+                    violated);
+          break;
+        }
+      }
+    }
+  }
+
+  // The XML-facing laws run over the p/q/r document alphabet: a fresh
+  // random automaton over the *encoded* alphabet plays the schema.
+  if (LawDone("membership/streaming") && LawDone("membership/batch")) return;
+  const Nbta m = DrawAutomaton(enc_.ranked, rng);
+  TaOpContext mctx = BudgetCtx(opts_);
+  Result<MembershipEngine> meng =
+      MembershipEngine::Compile(m, enc_.ranked, &mctx);
+  if (!meng.ok()) {
+    Fail("harness/op-error", iter,
+         "MembershipEngine::Compile(encoded): " + meng.status().ToString(),
+         "");
+    return;
+  }
+  NbtaIndex midx(m);
+
+  // Law "membership/streaming": validating the XML byte stream without
+  // materializing the tree agrees with encode-then-Accepts and with
+  // NbtaAccepts on the encoded tree. Only meaningful when the engine
+  // compiled a table (the streaming path requires one); the 1-6 state draws
+  // over five symbols always fit the determinization budget.
+  if (!LawDone("membership/streaming") && meng->fast()) {
+    ++report_.comparisons;
+    RandomUnrankedOptions uo;
+    uo.target_size = 1 + rng.NextBelow(20);
+    uo.max_children = 4;
+    const UnrankedTree u = RandomUnrankedTree(tags_, rng, uo);
+    const std::string xml = XmlString(u, tags_);
+    Result<BinaryTree> encoded = EncodeTree(u, enc_);
+    Result<StreamVerdict> stream =
+        StreamingValidateXml(xml, *meng->table(), enc_, tags_);
+    std::string mismatch;
+    if (!encoded.ok()) {
+      mismatch = "EncodeTree failed: " + encoded.status().ToString();
+    } else if (!stream.ok()) {
+      mismatch = "StreamingValidateXml failed: " + stream.status().ToString();
+    } else if (!stream->unknown_tag.empty()) {
+      mismatch = "streaming flagged unknown tag '" + stream->unknown_tag +
+                 "' in a document rendered from the schema alphabet";
+    } else {
+      const bool ref = NbtaAccepts(midx, *encoded);
+      Result<bool> via_tree = meng->Accepts(*encoded);
+      if (!via_tree.ok()) {
+        mismatch = "Accepts on the encoded tree failed: " +
+                   via_tree.status().ToString();
+      } else if (stream->accepted != ref || *via_tree != ref) {
+        std::ostringstream os;
+        os << "streaming=" << stream->accepted << " tree=" << *via_tree
+           << " reference=" << ref;
+        mismatch = os.str();
+      }
+    }
+    if (!mismatch.empty()) {
+      std::ostringstream os;
+      os << "// law \"membership/streaming\" violated at iteration " << iter
+         << " (seed " << opts_.seed << ").\n"
+         << "// replay: ta_diffcheck --seed=" << opts_.seed
+         << " --start=" << iter << " --iters=1\n"
+         << "// document: " << xml << "\n"
+         << FormatNbtaConstruction(m, enc_.ranked, "m")
+         << "// expect: StreamingValidateXml == Accepts(EncodeTree(doc))\n";
+      Fail("membership/streaming",
+           iter, "streaming XML validation agrees with encode-then-Accepts: " +
+                     mismatch,
+           os.str());
+    }
+  }
+
+  // Law "membership/batch": the forked batch fan-out returns exactly the
+  // verdicts of a sequential ValidateDoc loop — same codes, same validity
+  // bits, same diagnostics — on a mixed batch of well-formed, rejected,
+  // unknown-tag, and malformed documents.
+  if (!LawDone("membership/batch")) {
+    SchemaArtifact schema{enc_.ranked, m};
+    Result<serve::ValidationPlan> plan = serve::CompileSchemaPlan(schema);
+    if (!plan.ok()) {
+      Fail("harness/op-error", iter,
+           "CompileSchemaPlan: " + plan.status().ToString(), "");
+      return;
+    }
+    std::vector<std::string> docs;
+    for (int k = 0; k < 6; ++k) {
+      RandomUnrankedOptions uo;
+      uo.target_size = 1 + rng.NextBelow(12);
+      uo.max_children = 4;
+      docs.push_back(XmlString(RandomUnrankedTree(tags_, rng, uo), tags_));
+    }
+    docs.push_back("<p><q></p>");    // mismatched close tag
+    docs.push_back("<p><zz/></p>");  // tag outside the schema alphabet
+    docs.push_back("not xml");       // not a document at all
+    std::vector<serve::DocVerdict> seq;
+    seq.reserve(docs.size());
+    for (const std::string& d : docs) {
+      seq.push_back(serve::ValidateDoc(*plan, d));
+    }
+    TaOpContext bctx;
+    bctx.budgets.num_threads = 3;
+    serve::BatchResult batch = serve::ValidateBatch(*plan, docs, &bctx);
+    ++report_.comparisons;
+    std::string mismatch;
+    if (batch.verdicts.size() != seq.size()) {
+      mismatch = "verdict count differs";
+    }
+    for (size_t k = 0; mismatch.empty() && k < seq.size(); ++k) {
+      if (batch.verdicts[k].code != seq[k].code ||
+          batch.verdicts[k].valid != seq[k].valid ||
+          batch.verdicts[k].diagnostic != seq[k].diagnostic) {
+        std::ostringstream os;
+        os << "document " << k << ": batch {" << StatusCodeName(
+                  batch.verdicts[k].code)
+           << ", " << batch.verdicts[k].valid << ", \""
+           << batch.verdicts[k].diagnostic << "\"} vs sequential {"
+           << StatusCodeName(seq[k].code) << ", " << seq[k].valid << ", \""
+           << seq[k].diagnostic << "\"}";
+        mismatch = os.str();
+      }
+    }
+    if (!mismatch.empty()) {
+      std::ostringstream os;
+      os << "// law \"membership/batch\" violated at iteration " << iter
+         << " (seed " << opts_.seed << ").\n"
+         << "// replay: ta_diffcheck --seed=" << opts_.seed
+         << " --start=" << iter << " --iters=1\n";
+      for (size_t k = 0; k < docs.size(); ++k) {
+        os << "// doc[" << k << "]: " << docs[k] << "\n";
+      }
+      os << FormatNbtaConstruction(m, enc_.ranked, "m")
+         << "// expect: ValidateBatch verdicts == sequential ValidateDoc\n";
+      Fail("membership/batch", iter,
+           "batch fan-out agrees with sequential validation: " + mismatch,
+           os.str());
+    }
   }
 }
 

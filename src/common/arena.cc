@@ -1,0 +1,97 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+
+#include "src/common/check.h"
+
+namespace pebbletc {
+
+Arena::Arena(size_t first_block_bytes) {
+  PEBBLETC_CHECK(first_block_bytes > 0) << "arena block size must be positive";
+  // Reserve lazily: an arena that never allocates costs nothing. Remember the
+  // requested first size by seeding the (empty) chain's growth base.
+  first_block_bytes = std::min(first_block_bytes, kMaxBlockBytes);
+  blocks_.reserve(8);
+  Block b;
+  b.size = first_block_bytes;  // allocated on first use by NextBlock
+  b.data = nullptr;
+  blocks_.push_back(b);
+}
+
+Arena::~Arena() {
+  for (Block& b : blocks_) {
+    ::operator delete(b.data, std::align_val_t(alignof(std::max_align_t)));
+  }
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+void* Arena::do_allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  // Blocks are max_align_t-aligned at their base; for stricter alignments
+  // fall through to a dedicated block sized to guarantee an aligned cut.
+  PEBBLETC_CHECK(alignment <= alignof(std::max_align_t))
+      << "over-aligned arena allocation (" << alignment << ")";
+  Block* blk = blocks_[current_].data != nullptr ? &blocks_[current_] : nullptr;
+  size_t aligned = (offset_ + alignment - 1) & ~(alignment - 1);
+  if (blk == nullptr || aligned + bytes > blk->size) {
+    NextBlock(bytes);
+    blk = &blocks_[current_];
+    aligned = 0;  // fresh blocks are max_align_t-aligned at offset 0
+  }
+  offset_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, bytes_allocated_);
+  return blk->data + aligned;
+}
+
+void Arena::do_deallocate(void* /*p*/, size_t /*bytes*/, size_t /*alignment*/) {
+  // Monotonic: individual frees are no-ops; Reset()/~Arena reclaim.
+}
+
+bool Arena::do_is_equal(
+    const std::pmr::memory_resource& other) const noexcept {
+  return this == &other;
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Advance through retained blocks (post-Reset reuse) until one fits.
+  size_t next = blocks_[current_].data == nullptr ? current_ : current_ + 1;
+  while (next < blocks_.size() && blocks_[next].data != nullptr &&
+         blocks_[next].size < bytes) {
+    ++next;
+  }
+  if (next < blocks_.size()) {
+    Block& b = blocks_[next];
+    if (b.data == nullptr) {
+      // First touch of a lazily sized slot (the seed block, or a slot about
+      // to be created below): size it to fit and geometrically grow.
+      b.size = std::max(b.size, bytes);
+      b.data = static_cast<char*>(::operator new(
+          b.size, std::align_val_t(alignof(std::max_align_t))));
+      bytes_reserved_ += b.size;
+    }
+    current_ = next;
+    offset_ = 0;
+    return;
+  }
+  // Chain exhausted: append a block at double the last size (capped), or a
+  // dedicated block when the request itself is oversized.
+  const size_t last = blocks_.back().size;
+  Block b;
+  b.size = std::max(bytes, std::min(last * 2, kMaxBlockBytes));
+  b.data = static_cast<char*>(
+      ::operator new(b.size, std::align_val_t(alignof(std::max_align_t))));
+  bytes_reserved_ += b.size;
+  blocks_.push_back(b);
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+}  // namespace pebbletc

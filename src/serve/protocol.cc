@@ -147,6 +147,10 @@ void EncodeRequest(const Request& request, std::string* out) {
         } else if constexpr (std::is_same_v<T, LoadArtifactRequest>) {
           PutString(body.name, out);
           PutString(body.artifact, out);
+        } else if constexpr (std::is_same_v<T, ValidateBatchRequest>) {
+          PutString(body.schema, out);
+          PutU32(static_cast<uint32_t>(body.documents.size()), out);
+          for (const std::string& doc : body.documents) PutString(doc, out);
         }
         // Ping / ListArtifacts / Stats have empty bodies.
       },
@@ -209,6 +213,26 @@ Result<Request> DecodeRequest(std::string_view payload,
     case Opcode::kStats:
       request.body = StatsRequest{};
       break;
+    case Opcode::kValidateBatch: {
+      ValidateBatchRequest body;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadString(&body.schema));
+      uint32_t count = 0;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&count));
+      // Each document costs at least its 4-byte length prefix, so a hostile
+      // count cannot make the server reserve more entries than the payload
+      // it actually sent can hold.
+      if (count > in.remaining() / 4) {
+        return Status::ParseError("batch document count exceeds the payload");
+      }
+      body.documents.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string doc;
+        PEBBLETC_RETURN_IF_ERROR(in.ReadString(&doc));
+        body.documents.push_back(std::move(doc));
+      }
+      request.body = std::move(body);
+      break;
+    }
   }
   PEBBLETC_RETURN_IF_ERROR(in.Done());
   return request;
@@ -261,6 +285,15 @@ void EncodeResponse(const Response& response, std::string* out) {
             PutString(info.name, out);
             PutU8(info.kind, out);
           }
+        } else if constexpr (std::is_same_v<T, ValidateBatchResponse>) {
+          PutU32(static_cast<uint32_t>(body.verdicts.size()), out);
+          for (const BatchDocVerdict& v : body.verdicts) {
+            PutU8(v.status, out);
+            PutU8(v.valid ? 1 : 0, out);
+            PutString(v.diagnostic, out);
+          }
+          PutU64(body.fast_path_docs, out);
+          PutU64(body.fallback_docs, out);
         } else if constexpr (std::is_same_v<T, StatsResponse>) {
           PutU64(body.requests_total, out);
           PutU64(body.responses_ok, out);
@@ -363,6 +396,32 @@ Result<Response> DecodeResponse(std::string_view payload,
         PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&info.kind));
         body.artifacts.push_back(std::move(info));
       }
+      response.body = std::move(body);
+      break;
+    }
+    case Opcode::kValidateBatch: {
+      ValidateBatchResponse body;
+      uint32_t count = 0;
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU32(&count));
+      // A verdict is at least 6 wire bytes (status + valid + 4-byte
+      // diagnostic length), so a hostile count cannot force an oversized
+      // reserve.
+      if (count > in.remaining() / 6) {
+        return Status::ParseError("batch verdict count exceeds the payload");
+      }
+      body.verdicts.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        BatchDocVerdict v;
+        PEBBLETC_RETURN_IF_ERROR(in.ReadU8(&v.status));
+        if (v.status > static_cast<uint8_t>(WireStatus::kInvalidArgument)) {
+          return Status::ParseError("unknown wire status in batch verdict");
+        }
+        PEBBLETC_RETURN_IF_ERROR(in.ReadBool(&v.valid));
+        PEBBLETC_RETURN_IF_ERROR(in.ReadString(&v.diagnostic));
+        body.verdicts.push_back(std::move(v));
+      }
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.fast_path_docs));
+      PEBBLETC_RETURN_IF_ERROR(in.ReadU64(&body.fallback_docs));
       response.body = std::move(body);
       break;
     }

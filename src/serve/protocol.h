@@ -35,10 +35,21 @@ namespace pebbletc::serve {
 /// Protocol version spoken by this build.
 inline constexpr uint8_t kWireVersion = 1;
 
-/// Hard ceiling on any frame this implementation will read or write, and the
-/// default ServeOptions::max_frame_bytes. 4 MiB comfortably fits every
-/// artifact in the repo while bounding per-connection memory.
+/// Default frame cap — the value ServeOptions::max_frame_bytes starts at.
+/// 4 MiB comfortably fits every artifact in the repo while bounding
+/// per-connection memory. Deployments may configure a different cap, but only
+/// inside [kMinFrameBytes, kMaxFrameBytesCeiling]; ValidateServeOptions
+/// (src/serve/server.h) rejects anything outside that window rather than
+/// silently clamping.
 inline constexpr uint32_t kMaxFrameBytes = 4u << 20;
+
+/// Smallest admissible frame cap: a cap below this cannot carry even a
+/// request header plus a minimal body, so it is a configuration error.
+inline constexpr uint32_t kMinFrameBytes = 64;
+
+/// Absolute ceiling on any configured frame cap. Bounds the worst-case
+/// per-connection buffer a misconfigured deployment can expose.
+inline constexpr uint32_t kMaxFrameBytesCeiling = 64u << 20;
 
 /// Request opcodes. Wire-stable values — do not renumber.
 enum class Opcode : uint8_t {
@@ -49,8 +60,9 @@ enum class Opcode : uint8_t {
   kLoadArtifact = 4,   ///< install a wrapped artifact into the registry
   kListArtifacts = 5,  ///< enumerate registry contents
   kStats = 6,          ///< server counters
+  kValidateBatch = 7,  ///< validate N documents against one named schema
 };
-inline constexpr uint8_t kMaxOpcode = 6;
+inline constexpr uint8_t kMaxOpcode = 7;
 
 /// Structured response status. Wire-stable values — do not renumber.
 enum class WireStatus : uint8_t {
@@ -101,12 +113,19 @@ struct LoadArtifactRequest {
 };
 struct ListArtifactsRequest {};
 struct StatsRequest {};
+/// N documents against one artifact, in one frame and one admission slot.
+/// The batch shares the request deadline: documents not yet validated when
+/// it expires report kDeadlineExceeded individually.
+struct ValidateBatchRequest {
+  std::string schema;  ///< registry name of a DTD or schema artifact
+  std::vector<std::string> documents;  ///< XML texts, validated in order
+};
 
 struct Request {
   RequestHeader header;
   std::variant<PingRequest, ValidateRequest, TypecheckRequest,
                InferInverseRequest, LoadArtifactRequest, ListArtifactsRequest,
-               StatsRequest>
+               StatsRequest, ValidateBatchRequest>
       body;
 };
 
@@ -168,11 +187,27 @@ struct StatsResponse {
   uint32_t in_flight = 0;
 };
 
+/// Per-document verdict inside a batch response. `status` is a WireStatus
+/// byte: kOk means validation completed (`valid` is the answer); anything
+/// else means this document's validation failed — malformed XML
+/// (kInvalidArgument, as in the single-document opcode), deadline,
+/// cancellation — without failing the rest of the batch.
+struct BatchDocVerdict {
+  uint8_t status = 0;
+  bool valid = false;
+  std::string diagnostic;
+};
+struct ValidateBatchResponse {
+  std::vector<BatchDocVerdict> verdicts;  ///< one per document, in order
+  uint64_t fast_path_docs = 0;  ///< answered via the compiled DBTA table
+  uint64_t fallback_docs = 0;   ///< answered via the NbtaAccepts fallback
+};
+
 struct Response {
   ResponseHeader header;
   std::variant<PingResponse, ValidateResponse, TypecheckResponse,
                InferInverseResponse, LoadArtifactResponse,
-               ListArtifactsResponse, StatsResponse>
+               ListArtifactsResponse, StatsResponse, ValidateBatchResponse>
       body;
 };
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/core/typechecker.h"
 #include "src/dtd/dtd.h"
 #include "src/tree/encode.h"
@@ -18,6 +19,7 @@ bool IsHeavy(Opcode opcode) {
     case Opcode::kTypecheck:
     case Opcode::kInferInverse:
     case Opcode::kLoadArtifact:
+    case Opcode::kValidateBatch:  // the whole batch holds ONE slot
       return true;
     case Opcode::kPing:
     case Opcode::kListArtifacts:
@@ -43,6 +45,21 @@ Response StatusResponse(const RequestHeader& header, const Status& status) {
 }
 
 }  // namespace
+
+Status ValidateServeOptions(const ServeOptions& options) {
+  if (options.max_frame_bytes < kMinFrameBytes) {
+    return Status::InvalidArgument(
+        "max_frame_bytes " + std::to_string(options.max_frame_bytes) +
+        " is below the " + std::to_string(kMinFrameBytes) + "-byte floor");
+  }
+  if (options.max_frame_bytes > kMaxFrameBytesCeiling) {
+    return Status::InvalidArgument(
+        "max_frame_bytes " + std::to_string(options.max_frame_bytes) +
+        " exceeds the " + std::to_string(kMaxFrameBytesCeiling) +
+        "-byte ceiling");
+  }
+  return Status::OK();
+}
 
 WireStatus WireStatusOf(const Status& status) {
   switch (status.code()) {
@@ -172,6 +189,9 @@ Response ServerCore::Dispatch(const Request& request,
     case Opcode::kValidate:
       return DoValidate(header, std::get<ValidateRequest>(request.body),
                         cancel);
+    case Opcode::kValidateBatch:
+      return DoValidateBatch(
+          header, std::get<ValidateBatchRequest>(request.body), cancel);
     case Opcode::kTypecheck:
       return DoTypecheck(header, std::get<TypecheckRequest>(request.body),
                          cancel);
@@ -221,68 +241,137 @@ TypecheckOptions RequestOptions(const ServeOptions& server,
 
 }  // namespace
 
+namespace {
+
+/// Execution-control context for the validate opcodes: same deadline/cancel
+/// policy as RequestOptions, assembled directly (validation does not go
+/// through the Typechecker).
+TaOpContext ValidateContext(const ServeOptions& server,
+                            const RequestHeader& header,
+                            const std::atomic<bool>* cancel,
+                            TaFaultInjector* injector) {
+  TaOpBudgets budgets;
+  uint32_t deadline_ms = header.deadline_ms == 0 ? server.default_deadline_ms
+                                                 : header.deadline_ms;
+  deadline_ms = std::min(deadline_ms, server.validity.max_deadline_ms);
+  budgets.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  budgets.cancel = cancel;
+  budgets.max_det_states = server.max_det_states;
+  budgets.max_antichain_pairs = server.max_antichain_pairs;
+  budgets.num_threads = server.num_threads;
+  budgets.memo = server.memo;  // auto-bypassed when an injector is installed
+  TaOpContext ctx(budgets);
+  ctx.fault = injector;
+  return ctx;
+}
+
+/// Error response for a failed plan resolution / validation, preserving the
+/// legacy DoValidate details: registry-level failures (unknown name, wrong
+/// kind) carry the bare message; everything else carries the full
+/// code-prefixed Status string.
+Response PlanErrorResponse(const RequestHeader& header, const Status& status) {
+  if (status.code() == StatusCode::kNotFound ||
+      status.code() == StatusCode::kFailedPrecondition) {
+    return MakeErrorResponse(header.opcode, header.request_id,
+                             WireStatusOf(status),
+                             std::string(status.message()));
+  }
+  return StatusResponse(header, status);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ValidationPlan>> ServerCore::PlanFor(
+    const std::string& name, TaOpContext* ctx, bool bypass_cache) {
+  std::shared_ptr<const RegistryEntry> entry = registry_.Get(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no artifact named '" + name + "'");
+  }
+  if (entry->kind != RegistryEntry::Kind::kDtd &&
+      entry->kind != RegistryEntry::Kind::kSchema) {
+    return Status::FailedPrecondition(
+        "artifact '" + name + "' is a " + RegistryKindName(entry->kind) +
+        ", not a schema or DTD");
+  }
+  if (!bypass_cache) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = plans_.find(name);
+    // Pointer identity against the registry snapshot: a hot-swapped artifact
+    // gets a different entry object, so its stale plan misses here.
+    if (it != plans_.end() && it->second.source == entry) {
+      return it->second.plan;
+    }
+  }
+  // Compile outside the lock: determinization can be slow and other
+  // artifacts' requests must not stall behind it.
+  Result<ValidationPlan> plan =
+      entry->kind == RegistryEntry::Kind::kDtd
+          ? CompileDtdPlan(entry->dtd, ctx)
+          : CompileSchemaPlan(*entry->schema, ctx);
+  if (!plan.ok()) return plan.status();
+  auto shared = std::make_shared<const ValidationPlan>(std::move(*plan));
+  if (!bypass_cache && TaInterruptStatus(ctx).ok()) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plans_[name] = CachedPlan{std::move(entry), shared};
+  }
+  return shared;
+}
+
 Response ServerCore::DoValidate(const RequestHeader& header,
                                 const ValidateRequest& req,
                                 const std::atomic<bool>* cancel) {
-  (void)cancel;  // document validation is linear-time; no checkpoints needed
-  std::shared_ptr<const RegistryEntry> entry = registry_.Get(req.schema);
-  if (entry == nullptr) {
-    return MakeErrorResponse(header.opcode, header.request_id,
-                             WireStatus::kNotFound,
-                             "no artifact named '" + req.schema + "'");
+  TaFaultInjector* injector = armed_fault_.exchange(nullptr);
+  TaOpContext ctx = ValidateContext(options_, header, cancel, injector);
+  Result<std::shared_ptr<const ValidationPlan>> plan =
+      PlanFor(req.schema, &ctx, /*bypass_cache=*/injector != nullptr);
+  if (!plan.ok()) {
+    if (injector != nullptr && injector->tripped) faults_injected_.fetch_add(1);
+    return PlanErrorResponse(header, plan.status());
+  }
+  Arena arena;
+  DocVerdict verdict = ValidateDoc(**plan, req.document, &ctx, &arena);
+  if (injector != nullptr && injector->tripped) faults_injected_.fetch_add(1);
+  if (verdict.code != StatusCode::kOk) {
+    return StatusResponse(header, Status(verdict.code, verdict.diagnostic));
   }
   ValidateResponse body;
-  if (entry->kind == RegistryEntry::Kind::kDtd) {
-    // Parse against a *local copy* of the DTD's tag table: a document tag
-    // the DTD has never seen must read as invalid, not mutate the shared
-    // (immutable) registry entry.
-    Alphabet tags = entry->dtd->tags();
-    const size_t known_tags = tags.size();
-    Result<UnrankedTree> doc = ParseXml(req.document, &tags);
-    if (!doc.ok()) {
-      return StatusResponse(header,
-                            Status::InvalidArgument("document: " +
-                                                    doc.status().ToString()));
-    }
-    if (tags.size() > known_tags) {
-      body.valid = false;
-      body.diagnostic =
-          "document uses tag '" + tags.Name(known_tags) +
-          "' which the DTD does not declare";
-      return OkResponse(header, std::move(body));
-    }
-    Status conforms = entry->dtd->Validate(*doc);
-    body.valid = conforms.ok();
-    if (!conforms.ok()) body.diagnostic = conforms.message();
-    return OkResponse(header, std::move(body));
+  body.valid = verdict.valid;
+  body.diagnostic = std::move(verdict.diagnostic);
+  return OkResponse(header, std::move(body));
+}
+
+Response ServerCore::DoValidateBatch(const RequestHeader& header,
+                                     const ValidateBatchRequest& req,
+                                     const std::atomic<bool>* cancel) {
+  TaFaultInjector* injector = armed_fault_.exchange(nullptr);
+  TaOpContext ctx = ValidateContext(options_, header, cancel, injector);
+  Result<std::shared_ptr<const ValidationPlan>> plan =
+      PlanFor(req.schema, &ctx, /*bypass_cache=*/injector != nullptr);
+  if (!plan.ok()) {
+    if (injector != nullptr && injector->tripped) faults_injected_.fetch_add(1);
+    return PlanErrorResponse(header, plan.status());
   }
-  if (entry->kind == RegistryEntry::Kind::kSchema) {
-    Result<RankedEncodingView> view =
-        EncodedViewOfRanked(entry->schema->alphabet);
-    if (!view.ok()) return StatusResponse(header, view.status());
-    const size_t known_tags = view->tags.size();
-    Result<UnrankedTree> doc = ParseXml(req.document, &view->tags);
-    if (!doc.ok()) {
-      return StatusResponse(header,
-                            Status::InvalidArgument("document: " +
-                                                    doc.status().ToString()));
-    }
-    if (view->tags.size() > known_tags) {
-      body.valid = false;
-      body.diagnostic = "document uses tag '" + view->tags.Name(known_tags) +
-                        "' outside the schema alphabet";
-      return OkResponse(header, std::move(body));
-    }
-    Result<BinaryTree> encoded = EncodeTree(*doc, view->enc);
-    if (!encoded.ok()) return StatusResponse(header, encoded.status());
-    body.valid = entry->schema->automaton.Accepts(*encoded);
-    if (!body.valid) body.diagnostic = "schema automaton rejects the document";
-    return OkResponse(header, std::move(body));
+  BatchResult batch = ValidateBatch(**plan, req.documents, &ctx);
+  if (injector != nullptr && injector->tripped) faults_injected_.fetch_add(1);
+  // The batch response is kOk even when individual documents failed: each
+  // verdict carries its own honest wire status (deadline, cancellation,
+  // malformed XML), and the client decides per document.
+  ValidateBatchResponse body;
+  body.fast_path_docs = batch.fast_path_docs;
+  body.fallback_docs = batch.fallback_docs;
+  body.verdicts.reserve(batch.verdicts.size());
+  for (DocVerdict& v : batch.verdicts) {
+    BatchDocVerdict wire;
+    wire.status = v.code == StatusCode::kOk
+                      ? static_cast<uint8_t>(WireStatus::kOk)
+                      : static_cast<uint8_t>(
+                            WireStatusOf(Status(v.code, v.diagnostic)));
+    wire.valid = v.valid;
+    wire.diagnostic = std::move(v.diagnostic);
+    body.verdicts.push_back(std::move(wire));
   }
-  return MakeErrorResponse(
-      header.opcode, header.request_id, WireStatus::kFailedPrecondition,
-      "artifact '" + req.schema + "' is a " + RegistryKindName(entry->kind) +
-          ", not a schema or DTD");
+  return OkResponse(header, std::move(body));
 }
 
 namespace {

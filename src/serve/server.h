@@ -25,6 +25,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -32,6 +35,7 @@
 #include "src/serve/admission.h"
 #include "src/serve/protocol.h"
 #include "src/serve/registry.h"
+#include "src/serve/validate.h"
 #include "src/serve/validity.h"
 #include "src/ta/op_context.h"
 
@@ -40,7 +44,11 @@ namespace pebbletc::serve {
 struct ServeOptions {
   /// Trust-boundary tier and caps (see src/serve/validity.h).
   ValidityOptions validity;
-  /// Frame/field byte ceiling for both directions.
+  /// Frame/field byte ceiling for both directions. Configurable per
+  /// deployment, but only inside [kMinFrameBytes, kMaxFrameBytesCeiling] —
+  /// ValidateServeOptions (below) rejects values outside that window rather
+  /// than silently clamping; call it before constructing a server from
+  /// untrusted configuration.
   uint32_t max_frame_bytes = kMaxFrameBytes;
   /// Admission control: concurrent heavy requests / bounded wait queue /
   /// how long an admitted waiter may wait for a slot before being shed.
@@ -103,6 +111,17 @@ class ServerCore {
   Response Dispatch(const Request& request, const std::atomic<bool>* cancel);
   Response DoValidate(const RequestHeader& header, const ValidateRequest& req,
                       const std::atomic<bool>* cancel);
+  Response DoValidateBatch(const RequestHeader& header,
+                           const ValidateBatchRequest& req,
+                           const std::atomic<bool>* cancel);
+  /// Resolves `name` to a compiled ValidationPlan, serving repeat requests
+  /// from the per-artifact plan cache. A cached plan is invalidated by
+  /// pointer identity against the current registry snapshot, so hot-swapping
+  /// an artifact recompiles on the next request. `bypass_cache` (used for
+  /// fault-armed requests) compiles fresh and caches nothing, keeping
+  /// checkpoint ordinals deterministic.
+  Result<std::shared_ptr<const ValidationPlan>> PlanFor(
+      const std::string& name, TaOpContext* ctx, bool bypass_cache);
   Response DoTypecheck(const RequestHeader& header, const TypecheckRequest& req,
                        const std::atomic<bool>* cancel);
   Response DoInferInverse(const RequestHeader& header,
@@ -115,6 +134,15 @@ class ServerCore {
   ArtifactRegistry registry_;
   AdmissionController admission_;
   std::atomic<TaFaultInjector*> armed_fault_{nullptr};
+
+  /// Validation plan cache (docs/VALIDATION.md): one compiled plan per
+  /// artifact name, keyed to the registry snapshot it was built from.
+  struct CachedPlan {
+    std::shared_ptr<const RegistryEntry> source;
+    std::shared_ptr<const ValidationPlan> plan;
+  };
+  mutable std::mutex plan_mu_;
+  std::map<std::string, CachedPlan> plans_;
 
   std::atomic<uint64_t> requests_total_{0};
   std::atomic<uint64_t> responses_ok_{0};
@@ -129,6 +157,13 @@ class ServerCore {
 /// Maps a core Status to the wire status used when that Status aborts a
 /// request (exposed for tests).
 WireStatus WireStatusOf(const Status& status);
+
+/// Rejects structurally invalid serve configuration before a server is
+/// built from it: a frame cap of zero, below kMinFrameBytes, or above
+/// kMaxFrameBytesCeiling is a configuration error, not something to clamp
+/// silently (the operator asked for a specific policy and should learn it
+/// is unsupported).
+Status ValidateServeOptions(const ServeOptions& options);
 
 }  // namespace pebbletc::serve
 

@@ -79,6 +79,29 @@ Status CheckBasic(const Request& request, const ValidityOptions& options) {
                 "artifact payload exceeds " +
                 std::to_string(options.max_artifact_bytes) + " bytes");
           }
+        } else if constexpr (std::is_same_v<T, ValidateBatchRequest>) {
+          PEBBLETC_RETURN_IF_ERROR(
+              CheckName(body.schema, "schema", options));
+          if (body.documents.empty()) {
+            return Status::InvalidArgument("batch carries no documents");
+          }
+          if (body.documents.size() > options.max_batch_docs) {
+            return Status::InvalidArgument(
+                "batch of " + std::to_string(body.documents.size()) +
+                " documents exceeds the limit of " +
+                std::to_string(options.max_batch_docs));
+          }
+          for (size_t i = 0; i < body.documents.size(); ++i) {
+            if (body.documents[i].empty()) {
+              return Status::InvalidArgument("batch document " +
+                                             std::to_string(i) + " is empty");
+            }
+            if (body.documents[i].size() > options.max_document_bytes) {
+              return Status::InvalidArgument(
+                  "batch document " + std::to_string(i) + " exceeds " +
+                  std::to_string(options.max_document_bytes) + " bytes");
+            }
+          }
         }
         return Status::OK();
       },
@@ -99,6 +122,18 @@ Status CheckFull(const Request& request, const ValidityOptions& options) {
           if (!doc.ok()) {
             return Status::InvalidArgument("document is not well-formed: " +
                                            doc.status().ToString());
+          }
+        } else if constexpr (std::is_same_v<T, ValidateBatchRequest>) {
+          // Same pre-parse, per document; the message names the offender so
+          // the client can drop just that document and resend.
+          for (size_t i = 0; i < body.documents.size(); ++i) {
+            Alphabet scratch;
+            Result<UnrankedTree> doc = ParseXml(body.documents[i], &scratch);
+            if (!doc.ok()) {
+              return Status::InvalidArgument(
+                  "batch document " + std::to_string(i) +
+                  " is not well-formed: " + doc.status().ToString());
+            }
           }
         } else if constexpr (std::is_same_v<T, LoadArtifactRequest>) {
           // Unwrap + full payload deserialization: every structural

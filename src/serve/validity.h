@@ -45,6 +45,10 @@ struct ValidityOptions {
   uint32_t max_name_bytes = 256;
   uint32_t max_document_bytes = 1u << 20;
   uint32_t max_artifact_bytes = 2u << 20;
+  /// Most documents one kValidateBatch request may carry. Bounds the work a
+  /// single admission slot can claim; every document still respects
+  /// max_document_bytes individually.
+  uint32_t max_batch_docs = 64;
   /// Largest deadline a client may request; larger asks are rejected (not
   /// clamped — a client that asks for an hour should learn the server's
   /// policy, not silently get two seconds).

@@ -589,6 +589,25 @@ Result<Dbta> TaAlgebra::Determinize(const NbtaIndex& a,
   return r;
 }
 
+Result<std::shared_ptr<const Dbta>> TaAlgebra::MembershipTable(
+    const NbtaIndex& a, const RankedAlphabet& sigma, TaOpContext* ctx) const {
+  if (!Enabled(ctx)) {
+    PEBBLETC_ASSIGN_OR_RETURN(Dbta d, DeterminizeNbta(a, sigma, ctx));
+    return std::make_shared<const Dbta>(std::move(d));
+  }
+  const TaCacheKey key = MakeTaCacheKey(
+      TaOpKind::kCompiledMembership, NbtaStructuralHash(a.nbta()),
+      TaStructuralHash{}, RankedAlphabetFingerprint(sigma),
+      ctx->budgets.max_det_states);
+  if (std::shared_ptr<const Dbta> hit = cache_->FindDbta(key, ctx)) {
+    return hit;
+  }
+  PEBBLETC_ASSIGN_OR_RETURN(Dbta d, DeterminizeNbta(a, sigma, ctx));
+  auto table = std::make_shared<const Dbta>(std::move(d));
+  if (TaInterruptStatus(ctx).ok()) cache_->InsertDbta(key, *table, ctx);
+  return table;
+}
+
 Result<Nbta> TaAlgebra::Complement(const NbtaIndex& a,
                                    const RankedAlphabet& sigma,
                                    TaOpContext* ctx) const {

@@ -99,6 +99,13 @@ enum class TaOpKind : uint64_t {
   kDownwardProduct = 5,
   kPipelineOffending = 6,
   kIncludedIn = 7,
+  /// The validation fast path's compiled run table (docs/VALIDATION.md): the
+  /// complete DBTA a validating NBTA determinizes to. Keyed separately from
+  /// kDeterminize so the shared-payload handoff stays explicit: membership
+  /// compilation returns the cached table by shared_ptr (no per-request
+  /// copy), which a future payload change must not silently impose on the
+  /// general Determinize callers.
+  kCompiledMembership = 8,
 };
 
 /// A complete cache key: op, both operand fingerprints (b zero for unary
@@ -223,6 +230,14 @@ class TaAlgebra {
 
   Result<Dbta> Determinize(const NbtaIndex& a, const RankedAlphabet& sigma,
                            TaOpContext* ctx) const;
+  /// The validation fast path's compiled run table (docs/VALIDATION.md):
+  /// determinizes `a` and returns the complete DBTA by shared_ptr — a warm
+  /// hit hands back the cached table with no copy, which is what lets a
+  /// serving batch reuse one table across thousands of documents. Memoized
+  /// under kCompiledMembership; uncached contexts get a freshly computed
+  /// table.
+  Result<std::shared_ptr<const Dbta>> MembershipTable(
+      const NbtaIndex& a, const RankedAlphabet& sigma, TaOpContext* ctx) const;
   Result<Nbta> Complement(const NbtaIndex& a, const RankedAlphabet& sigma,
                           TaOpContext* ctx) const;
   Nbta Intersect(const NbtaIndex& a, const NbtaIndex& b,

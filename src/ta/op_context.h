@@ -161,6 +161,12 @@ struct TaOpCounters {
   size_t memo_misses = 0;
   size_t memo_evictions = 0;
   size_t memo_bytes = 0;
+  /// Validation fast path (docs/VALIDATION.md): membership queries answered
+  /// by a compiled DBTA run table (streaming or tree pass), and queries that
+  /// fell back to the NbtaAccepts reach-set route because the table could not
+  /// be compiled within budget.
+  size_t membership_fast_hits = 0;
+  size_t membership_fallbacks = 0;
 };
 
 /// Deterministic fault injection: trips the `trip_at`-th checkpoint observed
@@ -258,6 +264,8 @@ class TaOpContext {
     counters.memo_misses += child.counters.memo_misses;
     counters.memo_evictions += child.counters.memo_evictions;
     counters.memo_bytes += child.counters.memo_bytes;
+    counters.membership_fast_hits += child.counters.membership_fast_hits;
+    counters.membership_fallbacks += child.counters.membership_fallbacks;
     if (!interrupted_ && child.interrupted_) (void)SetInterrupt(child.interrupt_);
   }
 

@@ -8,9 +8,10 @@ namespace pebbletc {
 
 Result<BinaryTree> EncodeTree(const UnrankedTree& tree,
                               const EncodedAlphabet& enc,
-                              std::vector<NodeId>* node_map) {
+                              std::vector<NodeId>* node_map,
+                              std::pmr::memory_resource* mem) {
   if (tree.empty()) return Status::InvalidArgument("cannot encode empty tree");
-  BinaryTree out;
+  BinaryTree out = mem != nullptr ? BinaryTree(mem) : BinaryTree();
 
   // Iterative post-order: encoded[u] is the binary node encoding the unranked
   // subtree rooted at u.

@@ -12,6 +12,8 @@
 #ifndef PEBBLETC_TREE_ENCODE_H_
 #define PEBBLETC_TREE_ENCODE_H_
 
+#include <memory_resource>
+
 #include "src/alphabet/alphabet.h"
 #include "src/common/result.h"
 #include "src/tree/binary_tree.h"
@@ -23,10 +25,12 @@ namespace pebbletc {
 /// tree over `enc.ranked`. Fails if `tree` is invalid or uses tags outside
 /// `enc.tag_symbol`. If `node_map` is non-null it receives, for each unranked
 /// NodeId, the binary NodeId of its (label-preserving) image — the bijection
-/// of Section 2.1.
+/// of Section 2.1. Non-null `mem` places the output tree's storage there
+/// (arena-scoped encoding, docs/VALIDATION.md).
 Result<BinaryTree> EncodeTree(const UnrankedTree& tree,
                               const EncodedAlphabet& enc,
-                              std::vector<NodeId>* node_map = nullptr);
+                              std::vector<NodeId>* node_map = nullptr,
+                              std::pmr::memory_resource* mem = nullptr);
 
 /// Decodes a binary tree produced by `EncodeTree`. Fails with
 /// kInvalidArgument if `tree` is not a well-formed encoding (e.g. a tag node

@@ -13,127 +13,152 @@ bool IsNameChar(char c) {
          c == '.' || c == ':';
 }
 
-class XmlParser {
- public:
-  XmlParser(std::string_view text, Alphabet* alphabet)
-      : text_(text), alphabet_(alphabet) {}
+}  // namespace
 
-  Result<UnrankedTree> Parse() {
+// Skips whitespace and comments.
+void XmlEventReader::SkipMisc() {
+  while (pos_ < text_.size()) {
+    if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    } else if (text_.substr(pos_).substr(0, 4) == "<!--") {
+      auto end = text_.find("-->", pos_ + 4);
+      pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::string_view> XmlEventReader::ParseName() {
+  size_t start = pos_;
+  while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+  if (pos_ == start) {
+    return Status::ParseError("expected tag name at offset " +
+                              std::to_string(pos_));
+  }
+  return text_.substr(start, pos_ - start);
+}
+
+// One element head: '<name' then '/>' (kOpen with the kClose owed) or '>'
+// (kOpen, element pushed).
+Result<XmlEventReader::Event> XmlEventReader::ParseHead() {
+  if (pos_ >= text_.size() || text_[pos_] != '<') {
+    return Status::ParseError("expected '<' at offset " + std::to_string(pos_));
+  }
+  ++pos_;
+  PEBBLETC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+  // No attributes in this fragment: next must be '/>' or '>'.
+  if (pos_ < text_.size() &&
+      std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    return Status::ParseError("attributes are not supported (element '" +
+                              std::string(name) + "')");
+  }
+  if (text_.substr(pos_).substr(0, 2) == "/>") {
+    pos_ += 2;
+    pending_close_ = true;
+    return Event{Kind::kOpen, name};
+  }
+  if (pos_ >= text_.size() || text_[pos_] != '>') {
+    return Status::ParseError("expected '>' at offset " + std::to_string(pos_));
+  }
+  ++pos_;
+  open_.push_back(name);
+  return Event{Kind::kOpen, name};
+}
+
+Result<XmlEventReader::Event> XmlEventReader::Next() {
+  if (done_) return Event{Kind::kEnd, {}};
+  if (pending_close_) {
+    pending_close_ = false;
+    return Event{Kind::kClose, {}};
+  }
+  if (!started_) {
+    started_ = true;
     SkipMisc();
-    PEBBLETC_ASSIGN_OR_RETURN(NodeId root, ParseElement());
+    return ParseHead();
+  }
+  if (open_.empty()) {
+    // The root has closed: verify the epilogue.
     SkipMisc();
     if (pos_ < text_.size()) {
       return Status::ParseError("trailing content at offset " +
                                 std::to_string(pos_));
     }
-    tree_.SetRoot(root);
-    return std::move(tree_);
+    done_ = true;
+    return Event{Kind::kEnd, {}};
   }
+  // Content position inside the innermost open element.
+  SkipMisc();
+  if (text_.substr(pos_).substr(0, 2) == "</") {
+    pos_ += 2;
+    PEBBLETC_ASSIGN_OR_RETURN(std::string_view close, ParseName());
+    if (close != open_.back()) {
+      return Status::ParseError("mismatched </" + std::string(close) +
+                                ">, expected </" + std::string(open_.back()) +
+                                ">");
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return Status::ParseError("expected '>' after closing tag");
+    }
+    ++pos_;
+    open_.pop_back();
+    return Event{Kind::kClose, {}};
+  }
+  if (pos_ >= text_.size()) {
+    return Status::ParseError("unexpected end of input inside <" +
+                              std::string(open_.back()) + ">");
+  }
+  if (text_[pos_] != '<') {
+    return Status::ParseError("text content is not supported (inside <" +
+                              std::string(open_.back()) + ">)");
+  }
+  return ParseHead();
+}
 
- private:
-  // Skips whitespace and comments.
-  void SkipMisc() {
-    while (pos_ < text_.size()) {
-      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      } else if (text_.substr(pos_).substr(0, 4) == "<!--") {
-        auto end = text_.find("-->", pos_ + 4);
-        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+namespace {
+
+// Shared tree builder over the event stream. `intern` maps a tag name to its
+// SymbolId (or kNoSymbol to flag it unknown and stop building).
+template <typename Intern>
+Result<UnrankedTree> BuildTree(std::string_view text, Intern&& intern,
+                               std::pmr::memory_resource* mem,
+                               std::string* unknown_tag) {
+  XmlEventReader reader(text);
+  UnrankedTree tree = mem != nullptr ? UnrankedTree(mem) : UnrankedTree();
+  struct Frame {
+    SymbolId tag;
+    std::vector<NodeId> kids;
+  };
+  std::vector<Frame> stack;
+  NodeId root = kNoNode;
+  bool building = true;
+  while (true) {
+    PEBBLETC_ASSIGN_OR_RETURN(XmlEventReader::Event ev, reader.Next());
+    if (ev.kind == XmlEventReader::Kind::kEnd) break;
+    if (!building) continue;  // draining for well-formedness only
+    if (ev.kind == XmlEventReader::Kind::kOpen) {
+      SymbolId tag = intern(ev.name);
+      if (tag == kNoSymbol) {
+        if (unknown_tag != nullptr) *unknown_tag = std::string(ev.name);
+        building = false;
+        continue;
+      }
+      stack.push_back({tag, {}});
+    } else {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      NodeId n = tree.AddNode(f.tag, std::move(f.kids));
+      if (stack.empty()) {
+        root = n;
       } else {
-        break;
+        stack.back().kids.push_back(n);
       }
     }
   }
-
-  Result<std::string> ParseName() {
-    size_t start = pos_;
-    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
-    if (pos_ == start) {
-      return Status::ParseError("expected tag name at offset " +
-                                std::to_string(pos_));
-    }
-    return std::string(text_.substr(start, pos_ - start));
-  }
-
-  // Iterative (explicit-stack) parser: nesting depth is bounded by heap, not
-  // the call stack, so adversarially deep documents cannot overflow.
-  Result<NodeId> ParseElement() {
-    // One frame per element whose closing tag is still pending.
-    struct Frame {
-      std::string name;
-      SymbolId tag;
-      std::vector<NodeId> kids;
-    };
-    std::vector<Frame> stack;
-    while (true) {
-      // Parse one element head: '<name' then '/>' or '>'.
-      if (pos_ >= text_.size() || text_[pos_] != '<') {
-        return Status::ParseError("expected '<' at offset " +
-                                  std::to_string(pos_));
-      }
-      ++pos_;
-      PEBBLETC_ASSIGN_OR_RETURN(std::string name, ParseName());
-      // No attributes in this fragment: next must be '/>' or '>'.
-      if (pos_ < text_.size() &&
-          std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-        return Status::ParseError(
-            "attributes are not supported (element '" + name + "')");
-      }
-      SymbolId tag = alphabet_->Intern(name);
-      if (text_.substr(pos_).substr(0, 2) == "/>") {
-        pos_ += 2;
-        NodeId leaf = tree_.AddNode(tag);
-        if (stack.empty()) return leaf;
-        stack.back().kids.push_back(leaf);
-      } else {
-        if (pos_ >= text_.size() || text_[pos_] != '>') {
-          return Status::ParseError("expected '>' at offset " +
-                                    std::to_string(pos_));
-        }
-        ++pos_;
-        stack.push_back({std::move(name), tag, {}});
-      }
-      // Consume content of the innermost open element: close tags pop frames;
-      // a new open tag breaks back out to the head parser above.
-      while (!stack.empty()) {
-        SkipMisc();
-        if (text_.substr(pos_).substr(0, 2) == "</") {
-          pos_ += 2;
-          PEBBLETC_ASSIGN_OR_RETURN(std::string close, ParseName());
-          if (close != stack.back().name) {
-            return Status::ParseError("mismatched </" + close +
-                                      ">, expected </" + stack.back().name +
-                                      ">");
-          }
-          if (pos_ >= text_.size() || text_[pos_] != '>') {
-            return Status::ParseError("expected '>' after closing tag");
-          }
-          ++pos_;
-          Frame f = std::move(stack.back());
-          stack.pop_back();
-          NodeId node = tree_.AddNode(f.tag, std::move(f.kids));
-          if (stack.empty()) return node;
-          stack.back().kids.push_back(node);
-          continue;
-        }
-        if (pos_ >= text_.size()) {
-          return Status::ParseError("unexpected end of input inside <" +
-                                    stack.back().name + ">");
-        }
-        if (text_[pos_] != '<') {
-          return Status::ParseError("text content is not supported (inside <" +
-                                    stack.back().name + ">)");
-        }
-        break;  // a child element begins here
-      }
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-  Alphabet* alphabet_;
-  UnrankedTree tree_;
-};
+  if (!building) return UnrankedTree();  // unknown tag reported via out-param
+  tree.SetRoot(root);
+  return std::move(tree);
+}
 
 void Append(const UnrankedTree& tree, const Alphabet& alphabet, NodeId n,
             bool indent, int depth, std::string* out) {
@@ -163,7 +188,27 @@ void Append(const UnrankedTree& tree, const Alphabet& alphabet, NodeId n,
 }  // namespace
 
 Result<UnrankedTree> ParseXml(std::string_view text, Alphabet* alphabet) {
-  return XmlParser(text, alphabet).Parse();
+  return ParseXml(text, alphabet, nullptr);
+}
+
+Result<UnrankedTree> ParseXml(std::string_view text, Alphabet* alphabet,
+                              std::pmr::memory_resource* mem) {
+  return BuildTree(
+      text,
+      [alphabet](std::string_view name) { return alphabet->Intern(name); },
+      mem, nullptr);
+}
+
+Result<KnownXmlParse> ParseXmlKnown(std::string_view text,
+                                    const Alphabet& tags,
+                                    std::pmr::memory_resource* mem) {
+  KnownXmlParse out;
+  PEBBLETC_ASSIGN_OR_RETURN(
+      out.tree,
+      BuildTree(
+          text, [&tags](std::string_view name) { return tags.Find(name); },
+          mem, &out.unknown_tag));
+  return out;
 }
 
 std::string XmlString(const UnrankedTree& tree, const Alphabet& alphabet,

@@ -310,6 +310,120 @@ TEST_F(ServeSoakTest, FaultSweepAcrossScriptedMix) {
             << " hard=" << hard << "\n";
 }
 
+// Fault sweep over the batch opcode: one injector armed for the whole
+// batch, every checkpoint ordinal covered. Containment here is two-level —
+// the fault must stay inside the one request AND inside the documents at or
+// after the trip point: every verdict either matches the clean baseline or
+// carries the injected code honestly (an injected kResourceExhausted at
+// plan-compile time may instead degrade the whole batch to the fallback
+// engine — same verdicts, fallback_docs > 0).
+TEST_F(ServeSoakTest, FaultSweepAcrossBatchValidation) {
+  auto make_batch = [](uint32_t id) {
+    Request request;
+    request.header.opcode = Opcode::kValidateBatch;
+    request.header.request_id = id;
+    request.body = ValidateBatchRequest{
+        "in",
+        {"<a><c/></a>", "<a/>", "<a><c/></a>", "<a><z/></a>", "<a/>",
+         "<a><c/></a>"}};
+    return request;
+  };
+  const uint64_t checkpoints = CountCheckpoints(make_batch(1));
+
+  Response baseline = server_.Handle(make_batch(2));
+  ASSERT_EQ(baseline.header.status, WireStatus::kOk)
+      << baseline.header.detail;
+  const auto base = std::get<ValidateBatchResponse>(baseline.body);
+  ASSERT_EQ(base.verdicts.size(), 6u);
+
+  const StatusCode codes[] = {
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+      StatusCode::kCancelled,
+      StatusCode::kInternal,
+  };
+
+  uint64_t injected = 0;
+  uint64_t hard = 0;
+  uint64_t contained = 0;
+  uint64_t absorbed = 0;
+  uint32_t id = 100;
+  for (uint64_t ordinal = 0; ordinal < checkpoints; ++ordinal) {
+    TaFaultInjector injector;
+    injector.trip_at = ordinal;
+    injector.code = codes[ordinal % 4];
+    server_.ArmFaultForNextRequest(&injector);
+    Response response = server_.Handle(make_batch(id));
+    ++injected;
+    ASSERT_TRUE(injector.tripped) << "ordinal " << ordinal;
+    const uint8_t injected_wire =
+        static_cast<uint8_t>(WireStatusOf(Status(injector.code, "")));
+
+    if (response.header.status != WireStatus::kOk) {
+      // The fault aborted the whole request (plan compilation): the status
+      // must map the injected code and carry a diagnostic.
+      ASSERT_EQ(static_cast<uint8_t>(response.header.status), injected_wire)
+          << "ordinal " << ordinal << ": " << response.header.detail;
+      ASSERT_FALSE(response.header.detail.empty());
+      ++hard;
+    } else {
+      const auto& body = std::get<ValidateBatchResponse>(response.body);
+      ASSERT_EQ(body.verdicts.size(), base.verdicts.size())
+          << "ordinal " << ordinal << ": a faulted batch still answers for "
+          << "every document";
+      bool any_injected = false;
+      for (size_t k = 0; k < body.verdicts.size(); ++k) {
+        const auto& v = body.verdicts[k];
+        if (v.status == static_cast<uint8_t>(WireStatus::kOk)) {
+          // Documents finished before the trip: verdicts match the clean
+          // baseline exactly — never a fabricated answer.
+          ASSERT_EQ(v.valid, base.verdicts[k].valid)
+              << "ordinal " << ordinal << " doc " << k;
+          ASSERT_EQ(v.diagnostic, base.verdicts[k].diagnostic)
+              << "ordinal " << ordinal << " doc " << k;
+        } else {
+          ASSERT_EQ(v.status, injected_wire)
+              << "ordinal " << ordinal << " doc " << k << ": "
+              << v.diagnostic;
+          ASSERT_FALSE(v.valid);
+          any_injected = true;
+        }
+      }
+      if (any_injected) {
+        ++contained;
+      } else {
+        // Only a compile-time kResourceExhausted may vanish from the
+        // verdicts — by degrading the engine to the fallback route.
+        ASSERT_EQ(injector.code, StatusCode::kResourceExhausted)
+            << "ordinal " << ordinal;
+        ASSERT_GT(body.fallback_docs, 0u) << "ordinal " << ordinal;
+        ++absorbed;
+      }
+    }
+    ASSERT_EQ(server_.admission().in_flight(), 0u)
+        << "leaked slot after ordinal " << ordinal;
+    ++id;
+  }
+
+  // The server is healthy afterwards: a clean batch reproduces the baseline.
+  Response after = server_.Handle(make_batch(id));
+  ASSERT_EQ(after.header.status, WireStatus::kOk);
+  const auto& after_body = std::get<ValidateBatchResponse>(after.body);
+  ASSERT_EQ(after_body.verdicts.size(), base.verdicts.size());
+  for (size_t k = 0; k < base.verdicts.size(); ++k) {
+    EXPECT_EQ(after_body.verdicts[k].status, base.verdicts[k].status);
+    EXPECT_EQ(after_body.verdicts[k].valid, base.verdicts[k].valid);
+    EXPECT_EQ(after_body.verdicts[k].diagnostic,
+              base.verdicts[k].diagnostic);
+  }
+  EXPECT_EQ(hard + contained + absorbed, injected);
+  EXPECT_GT(contained, 0u) << "some fault must land mid-batch";
+  std::cout << "[soak-batch] checkpoints=" << checkpoints
+            << " injected=" << injected << " hard=" << hard
+            << " contained=" << contained << " absorbed=" << absorbed
+            << "\n";
+}
+
 TEST_F(ServeSoakTest, FaultArmedRequestsAreMemoColdAndDeterministic) {
   // Checkpoint ordinals must be stable across repeated armed runs (the op
   // cache is bypassed automatically when an injector is installed), or the

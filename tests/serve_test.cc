@@ -83,12 +83,21 @@ Request MakeValidate(uint32_t id, const std::string& schema,
   return request;
 }
 
+Request MakeBatch(uint32_t id, const std::string& schema,
+                  std::vector<std::string> documents) {
+  Request request;
+  request.header.opcode = Opcode::kValidateBatch;
+  request.header.request_id = id;
+  request.body = ValidateBatchRequest{schema, std::move(documents)};
+  return request;
+}
+
 // ---------------------------------------------------------------------------
 // Protocol round trips.
 // ---------------------------------------------------------------------------
 
 TEST(ServeProtocolTest, RequestRoundTripsEveryOpcode) {
-  Request requests[7];
+  Request requests[8];
   requests[0].body = PingRequest{};
   requests[0].header.opcode = Opcode::kPing;
   requests[1].body = ValidateRequest{"schema", "<a/>"};
@@ -103,6 +112,8 @@ TEST(ServeProtocolTest, RequestRoundTripsEveryOpcode) {
   requests[5].header.opcode = Opcode::kListArtifacts;
   requests[6].body = StatsRequest{};
   requests[6].header.opcode = Opcode::kStats;
+  requests[7].body = ValidateBatchRequest{"schema", {"<a/>", "", "<b/>"}};
+  requests[7].header.opcode = Opcode::kValidateBatch;
 
   uint32_t id = 100;
   for (Request& request : requests) {
@@ -186,6 +197,76 @@ TEST(ServeProtocolTest, ListArtifactsCountBeyondPayloadIsRejected) {
   Result<Response> r = DecodeResponse(bytes);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocolTest, BatchResponseRoundTripsMixedVerdicts) {
+  Response response;
+  response.header.opcode = Opcode::kValidateBatch;
+  response.header.request_id = 12;
+  ValidateBatchResponse body;
+  body.verdicts.push_back(
+      {static_cast<uint8_t>(WireStatus::kOk), true, ""});
+  body.verdicts.push_back(
+      {static_cast<uint8_t>(WireStatus::kOk), false, "rejected"});
+  body.verdicts.push_back({static_cast<uint8_t>(WireStatus::kInvalidArgument),
+                           false, "document: parse error"});
+  body.verdicts.push_back(
+      {static_cast<uint8_t>(WireStatus::kCancelled), false, "cancelled"});
+  body.fast_path_docs = 2;
+  body.fallback_docs = 1;
+  response.body = std::move(body);
+
+  std::string bytes;
+  EncodeResponse(response, &bytes);
+  Result<Response> back = DecodeResponse(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  const auto& got = std::get<ValidateBatchResponse>(back->body);
+  ASSERT_EQ(got.verdicts.size(), 4u);
+  EXPECT_EQ(got.verdicts[0].status, static_cast<uint8_t>(WireStatus::kOk));
+  EXPECT_TRUE(got.verdicts[0].valid);
+  EXPECT_FALSE(got.verdicts[1].valid);
+  EXPECT_EQ(got.verdicts[1].diagnostic, "rejected");
+  EXPECT_EQ(got.verdicts[3].status,
+            static_cast<uint8_t>(WireStatus::kCancelled));
+  EXPECT_EQ(got.fast_path_docs, 2u);
+  EXPECT_EQ(got.fallback_docs, 1u);
+}
+
+// Same hostile-count shape as the artifact list, on both batch directions:
+// a declared count far beyond the remaining payload must be rejected before
+// any reserve.
+TEST(ServeProtocolTest, BatchCountsBeyondPayloadAreRejected) {
+  auto put_u8 = [](std::string* bytes, uint8_t v) {
+    bytes->push_back(static_cast<char>(v));
+  };
+  auto put_u32 = [](std::string* bytes, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+
+  std::string request;
+  put_u8(&request, kWireVersion);
+  put_u8(&request, static_cast<uint8_t>(Opcode::kValidateBatch));
+  put_u32(&request, /*request_id=*/1);
+  put_u32(&request, /*deadline_ms=*/0);
+  put_u32(&request, /*schema length=*/1);
+  request += "s";
+  put_u32(&request, /*document count=*/8u << 20);  // millions declared
+  Result<Request> r = DecodeRequest(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+
+  std::string response;
+  put_u8(&response, kWireVersion);
+  put_u8(&response, static_cast<uint8_t>(Opcode::kValidateBatch));
+  put_u32(&response, /*request_id=*/1);
+  put_u8(&response, static_cast<uint8_t>(WireStatus::kOk));
+  put_u32(&response, /*detail length=*/0);
+  put_u32(&response, /*verdict count=*/8u << 20);
+  Result<Response> b = DecodeResponse(response);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kParseError);
 }
 
 // ---------------------------------------------------------------------------
@@ -564,6 +645,202 @@ TEST_F(ServeDispatchTest, CancellationDegradesGracefully) {
   EXPECT_TRUE(body.exhausted);
   EXPECT_EQ(body.exhaustion_code,
             static_cast<uint8_t>(StatusCode::kCancelled));
+}
+
+// ---------------------------------------------------------------------------
+// Batch dispatch (docs/VALIDATION.md).
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeDispatchTest, ValidateBatchAgainstDtd) {
+  Response response = server_.Handle(
+      MakeBatch(1, "in", {"<a><c/></a>", "<a/>", "<a><z/></a>"}));
+  ASSERT_EQ(response.header.status, WireStatus::kOk) << response.header.detail;
+  const auto& body = std::get<ValidateBatchResponse>(response.body);
+  ASSERT_EQ(body.verdicts.size(), 3u);
+  EXPECT_EQ(body.verdicts[0].status, static_cast<uint8_t>(WireStatus::kOk));
+  EXPECT_TRUE(body.verdicts[0].valid);
+  EXPECT_EQ(body.verdicts[1].status, static_cast<uint8_t>(WireStatus::kOk));
+  EXPECT_FALSE(body.verdicts[1].valid);
+  EXPECT_FALSE(body.verdicts[1].diagnostic.empty())
+      << "rejections carry a diagnostic";
+  EXPECT_FALSE(body.verdicts[2].valid);
+  EXPECT_NE(body.verdicts[2].diagnostic.find("'z'"), std::string::npos)
+      << "unknown-tag diagnostic names the tag: "
+      << body.verdicts[2].diagnostic;
+  // The unknown-tag document never reaches a table verdict; the other two
+  // were answered by the engine.
+  EXPECT_EQ(body.fast_path_docs + body.fallback_docs, 2u);
+}
+
+TEST_F(ServeDispatchTest, BatchVerdictsMatchSingleValidateVerdicts) {
+  const std::vector<std::string> docs = {"<a><c/></a>", "<a/>",
+                                         "<a><z/></a>"};
+  Response batch = server_.Handle(MakeBatch(1, "in", docs));
+  ASSERT_EQ(batch.header.status, WireStatus::kOk);
+  const auto& body = std::get<ValidateBatchResponse>(batch.body);
+  ASSERT_EQ(body.verdicts.size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Response single = server_.Handle(
+        MakeValidate(static_cast<uint32_t>(10 + i), "in", docs[i]));
+    ASSERT_EQ(single.header.status, WireStatus::kOk);
+    const auto& v = std::get<ValidateResponse>(single.body);
+    EXPECT_EQ(body.verdicts[i].valid, v.valid) << "doc " << i;
+    EXPECT_EQ(body.verdicts[i].diagnostic, v.diagnostic) << "doc " << i;
+  }
+}
+
+TEST_F(ServeDispatchTest, BatchUnknownNameAndWrongKindFailWhole) {
+  Response missing = server_.Handle(MakeBatch(1, "nope", {"<a/>"}));
+  EXPECT_EQ(missing.header.status, WireStatus::kNotFound);
+  Response wrong_kind = server_.Handle(MakeBatch(2, "rename", {"<a/>"}));
+  EXPECT_EQ(wrong_kind.header.status, WireStatus::kFailedPrecondition);
+}
+
+TEST_F(ServeDispatchTest, EmptyBatchIsRejectedByValidity) {
+  Response empty = server_.Handle(MakeBatch(1, "in", {}));
+  EXPECT_EQ(empty.header.status, WireStatus::kValidationFailed);
+}
+
+TEST_F(ServeDispatchTest, BatchOverDocLimitIsRejectedByValidity) {
+  ServeOptions options = TestOptions();
+  options.validity.max_batch_docs = 4;
+  ServerCore server(options);
+  ASSERT_TRUE(server.registry().PutDtdText("in", kInDtd).ok());
+  std::vector<std::string> docs(5, "<a><c/></a>");
+  Response over = server.Handle(MakeBatch(1, "in", docs));
+  EXPECT_EQ(over.header.status, WireStatus::kValidationFailed);
+  EXPECT_NE(over.header.detail.find("exceeds the limit"), std::string::npos)
+      << over.header.detail;
+  docs.pop_back();
+  Response at_limit = server.Handle(MakeBatch(2, "in", docs));
+  EXPECT_EQ(at_limit.header.status, WireStatus::kOk);
+}
+
+// Under kBasic validity (no pre-parse), a malformed document reaches the
+// engine and must surface as a per-document kInvalidArgument verdict while
+// the rest of the batch completes normally.
+TEST(ServeBatchTest, MalformedDocumentGetsHonestPerDocVerdict) {
+  ServeOptions options = TestOptions();
+  options.validity.level = ValidityLevel::kBasic;
+  ServerCore server(options);
+  ASSERT_TRUE(server.registry().PutDtdText("in", kInDtd).ok());
+  Response response = server.Handle(
+      MakeBatch(1, "in", {"<a><c/></a>", "not xml", "<a/>"}));
+  ASSERT_EQ(response.header.status, WireStatus::kOk)
+      << response.header.detail;
+  const auto& body = std::get<ValidateBatchResponse>(response.body);
+  ASSERT_EQ(body.verdicts.size(), 3u);
+  EXPECT_TRUE(body.verdicts[0].valid);
+  EXPECT_EQ(body.verdicts[1].status,
+            static_cast<uint8_t>(WireStatus::kInvalidArgument));
+  EXPECT_EQ(body.verdicts[1].diagnostic.rfind("document: ", 0), 0u)
+      << body.verdicts[1].diagnostic;
+  EXPECT_EQ(body.verdicts[2].status, static_cast<uint8_t>(WireStatus::kOk));
+  EXPECT_FALSE(body.verdicts[2].valid);
+}
+
+// A disconnect mid-batch cancels the remaining documents: each unprocessed
+// verdict reports kCancelled honestly instead of a fabricated answer, and
+// the response itself still decodes as kOk.
+TEST(ServeBatchTest, DisconnectCancelsRemainingDocuments) {
+  ServeOptions options = TestOptions();
+  ServerCore server(options);
+  ASSERT_TRUE(server.registry().PutDtdText("in", kInDtd).ok());
+  // Warm the plan cache: a disconnect during plan *compilation* fails the
+  // whole request (the response is never sent anyway); this test pins the
+  // mid-batch story, where the plan exists and documents are in flight.
+  ASSERT_EQ(server.Handle(MakeBatch(1, "in", {"<a/>"})).header.status,
+            WireStatus::kOk);
+  std::atomic<bool> cancel{true};  // "client gone" before the first doc
+  std::vector<std::string> docs(6, "<a><c/></a>");
+  Response response = server.Handle(MakeBatch(2, "in", docs), &cancel);
+  ASSERT_EQ(response.header.status, WireStatus::kOk)
+      << response.header.detail;
+  const auto& body = std::get<ValidateBatchResponse>(response.body);
+  ASSERT_EQ(body.verdicts.size(), docs.size());
+  for (size_t i = 0; i < body.verdicts.size(); ++i) {
+    EXPECT_EQ(body.verdicts[i].status,
+              static_cast<uint8_t>(WireStatus::kCancelled))
+        << "doc " << i;
+    EXPECT_FALSE(body.verdicts[i].valid);
+  }
+  EXPECT_EQ(body.fast_path_docs, 0u);
+}
+
+// The whole batch is ONE heavy request: it needs (and holds) exactly one
+// admission slot, so a saturated server sheds it with a single kOverloaded
+// response, and a max_in_flight=1 server still serves any batch size.
+TEST(ServeBatchTest, BatchHoldsExactlyOneAdmissionSlot) {
+  ServeOptions options = TestOptions();
+  options.max_in_flight = 1;
+  options.max_queued = 1;
+  options.admission_wait = std::chrono::milliseconds(5);
+  ServerCore server(options);
+  ASSERT_TRUE(server.registry().PutDtdText("in", kInDtd).ok());
+
+  std::vector<std::string> docs(16, "<a><c/></a>");
+  Response served = server.Handle(MakeBatch(1, "in", docs));
+  ASSERT_EQ(served.header.status, WireStatus::kOk) << served.header.detail;
+  EXPECT_EQ(std::get<ValidateBatchResponse>(served.body).verdicts.size(),
+            docs.size());
+  EXPECT_EQ(server.admission().in_flight(), 0u) << "slot released";
+
+  auto held = server.admission().Admit(std::chrono::milliseconds(1));
+  ASSERT_TRUE(held.ok());
+  Response shed = server.Handle(MakeBatch(2, "in", docs));
+  EXPECT_EQ(shed.header.status, WireStatus::kOverloaded);
+  EXPECT_EQ(server.SnapshotStats().overload_rejected, 1u)
+      << "one shed, not one per document";
+  held->Release();
+}
+
+// ---------------------------------------------------------------------------
+// Serve configuration (the frame-cap knob).
+// ---------------------------------------------------------------------------
+
+TEST(ServeConfigTest, ValidateServeOptionsRejectsOutOfWindowFrameCaps) {
+  ServeOptions options = TestOptions();
+  EXPECT_TRUE(ValidateServeOptions(options).ok()) << "default is valid";
+
+  options.max_frame_bytes = kMinFrameBytes;
+  EXPECT_TRUE(ValidateServeOptions(options).ok());
+  options.max_frame_bytes = kMaxFrameBytesCeiling;
+  EXPECT_TRUE(ValidateServeOptions(options).ok());
+
+  options.max_frame_bytes = 0;
+  Status zero = ValidateServeOptions(options);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.code(), StatusCode::kInvalidArgument);
+
+  options.max_frame_bytes = kMinFrameBytes - 1;
+  EXPECT_FALSE(ValidateServeOptions(options).ok()) << "below the floor";
+  options.max_frame_bytes = kMaxFrameBytesCeiling + 1;
+  EXPECT_FALSE(ValidateServeOptions(options).ok()) << "above the ceiling";
+}
+
+// A frame declaring more than the *configured* cap (not the compile-time
+// default) poisons the stream at exactly the configured boundary.
+TEST(ServeConfigTest, FrameDecoderEnforcesTheConfiguredBoundary) {
+  constexpr uint32_t kCap = 128;
+  {
+    FrameDecoder decoder(kCap);
+    std::string stream;
+    EncodeFrame(std::string(kCap, 'x'), &stream);  // exactly at the cap
+    decoder.Append(stream);
+    Result<std::optional<std::string>> r = decoder.Next();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ((*r)->size(), kCap);
+  }
+  {
+    FrameDecoder decoder(kCap);
+    std::string stream;
+    EncodeFrame(std::string(kCap + 1, 'x'), &stream);  // one past the cap
+    decoder.Append(stream);
+    Result<std::optional<std::string>> r = decoder.Next();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 // Single-shot commands:
 //   pebbletc_client --socket=PATH ping | list | stats
 //   pebbletc_client --socket=PATH validate  <schema> <xml>
+//   pebbletc_client --socket=PATH batch     <schema> <xml> [<xml>...]
 //   pebbletc_client --socket=PATH typecheck <transducer> <tau1> <tau2>
 //   pebbletc_client --socket=PATH infer     <transducer> <tau2>
 //   pebbletc_client --socket=PATH load      <name> <ptar-file>
@@ -139,6 +140,23 @@ void PrintResponse(const Response& response) {
   } else if (const auto* v = std::get_if<ValidateResponse>(&response.body)) {
     std::printf("  %s%s%s\n", v->valid ? "valid" : "INVALID",
                 v->diagnostic.empty() ? "" : ": ", v->diagnostic.c_str());
+  } else if (const auto* b =
+                 std::get_if<ValidateBatchResponse>(&response.body)) {
+    std::printf("  %zu verdict(s), %llu fast-path, %llu fallback\n",
+                b->verdicts.size(),
+                static_cast<unsigned long long>(b->fast_path_docs),
+                static_cast<unsigned long long>(b->fallback_docs));
+    for (size_t i = 0; i < b->verdicts.size(); ++i) {
+      const BatchDocVerdict& v = b->verdicts[i];
+      if (v.status != static_cast<uint8_t>(WireStatus::kOk)) {
+        std::printf("  [%zu] %s: %s\n", i,
+                    WireStatusName(static_cast<WireStatus>(v.status)),
+                    v.diagnostic.c_str());
+      } else {
+        std::printf("  [%zu] %s%s%s\n", i, v.valid ? "valid" : "INVALID",
+                    v.diagnostic.empty() ? "" : ": ", v.diagnostic.c_str());
+      }
+    }
   } else if (const auto* i =
                  std::get_if<InferInverseResponse>(&response.body)) {
     std::printf("  inverse type: %u state(s), %u leaf rule(s), %u rule(s)\n",
@@ -259,6 +277,14 @@ Request Validate(const std::string& schema, const std::string& doc) {
   return r;
 }
 
+Request ValidateBatch(const std::string& schema,
+                      std::vector<std::string> docs) {
+  Request r;
+  r.header.opcode = Opcode::kValidateBatch;
+  r.body = ValidateBatchRequest{schema, std::move(docs)};
+  return r;
+}
+
 int RunMix(MixState* mix, int rounds) {
   for (int round = 0; round < rounds; ++round) {
     int fd = Connect(mix->socket_path);
@@ -291,6 +317,12 @@ int RunMix(MixState* mix, int rounds) {
                  WireStatus::kValidationFailed, "hostile artifact name");
     ExpectStatus(mix, fd, Validate("rename_in", "<a><unclosed></a>"),
                  WireStatus::kValidationFailed, "malformed XML document");
+    ExpectStatus(mix, fd,
+                 ValidateBatch("rename_in", {"<a><c/></a>", "<a/>",
+                                             "<a><c/><c/></a>"}),
+                 WireStatus::kOk, "batch validate mixed documents");
+    ExpectStatus(mix, fd, ValidateBatch("rename_in", {}),
+                 WireStatus::kValidationFailed, "batch with no documents");
 
     // --- Hostile frames on the same connection. ---
     ExpectErrorFrame(mix, fd, "", WireStatus::kMalformedFrame,
@@ -403,6 +435,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --socket=PATH "
                  "(ping|list|stats|mix [--rounds=N]|validate S XML|"
+                 "batch S XML [XML...]|"
                  "typecheck T TAU1 TAU2|infer T TAU2|load NAME FILE)\n",
                  argv[0]);
     return 2;
@@ -428,6 +461,10 @@ int Main(int argc, char** argv) {
   } else if (args[0] == "validate" && args.size() == 3) {
     request.header.opcode = Opcode::kValidate;
     request.body = ValidateRequest{args[1], args[2]};
+  } else if (args[0] == "batch" && args.size() >= 3) {
+    request.header.opcode = Opcode::kValidateBatch;
+    request.body = ValidateBatchRequest{
+        args[1], std::vector<std::string>(args.begin() + 2, args.end())};
   } else if (args[0] == "typecheck" && args.size() == 4) {
     request.header.opcode = Opcode::kTypecheck;
     request.body = TypecheckRequest{args[1], args[2], args[3]};

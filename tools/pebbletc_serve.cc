@@ -55,6 +55,10 @@ int Usage(const char* argv0) {
       "  --max-deadline-ms=N         hard per-request deadline ceiling\n"
       "  --max-det-states=N          determinization budget per request\n"
       "  --max-antichain-pairs=N     antichain-inclusion budget per request\n"
+      "  --max-frame-bytes=N         wire frame cap (default 4 MiB; rejected\n"
+      "                              outside the supported window, never\n"
+      "                              clamped)\n"
+      "  --max-batch-docs=N          documents per kValidateBatch request\n"
       "  --inclusion=explicit|antichain|auto\n"
       "                              inclusion engine (default explicit;\n"
       "                              auto picks antichain for DTD-shaped\n"
@@ -113,6 +117,12 @@ int main(int argc, char** argv) {
       uint32_t n = 0;
       if (!ParseU32(v, &n)) return Usage(argv[0]);
       options.max_antichain_pairs = n;
+    } else if (const char* v = value("--max-frame-bytes=")) {
+      if (!ParseU32(v, &options.max_frame_bytes)) return Usage(argv[0]);
+    } else if (const char* v = value("--max-batch-docs=")) {
+      if (!ParseU32(v, &options.validity.max_batch_docs)) {
+        return Usage(argv[0]);
+      }
     } else if (const char* v = value("--inclusion=")) {
       if (std::strcmp(v, "explicit") == 0) {
         options.inclusion = TaInclusionPath::kExplicit;
@@ -138,6 +148,13 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty() || artifacts_dir.empty()) return Usage(argv[0]);
+
+  // Reject — never clamp — unsupported configuration before binding.
+  Status config = ValidateServeOptions(options);
+  if (!config.ok()) {
+    std::fprintf(stderr, "pebbletc_serve: %s\n", config.ToString().c_str());
+    return 2;
+  }
 
   ServerCore core(options);
   Result<size_t> loaded = core.registry().LoadDirectory(artifacts_dir);
